@@ -1,0 +1,92 @@
+// Shared campaign driver for the Table 5 and Figure 5 benches: runs the
+// full dependability benchmark (baseline + 3 iterations) for each
+// server x OS cell.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "depbench/report.h"
+#include "depbench/tuner.h"
+#include "swfit/scanner.h"
+
+namespace gf::benchrun {
+
+struct CampaignOptions {
+  double time_scale = 1.0;  ///< fault exposure scale (1.0 = the paper's 10 s)
+  int stride = 6;           ///< inject every k-th fault of the faultload
+  int iterations = 3;       ///< SPECWeb rule: at least three runs
+};
+
+inline CampaignOptions parse_options(int argc, char** argv) {
+  CampaignOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.stride = 16;
+      opt.iterations = 2;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      opt.stride = 1;
+      opt.iterations = 3;
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      opt.time_scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stride") == 0 && i + 1 < argc) {
+      opt.stride = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+      opt.iterations = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick|--full] [--scale S] [--stride K] "
+                   "[--iterations N]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Runs the campaign for one cell: profile-mode baseline + N iterations.
+inline depbench::ExperimentCell run_cell(os::OsVersion version,
+                                         const std::string& server,
+                                         const swfit::Faultload& fl,
+                                         const CampaignOptions& opt) {
+  depbench::ControllerConfig cfg;
+  cfg.connections = server == "apex" ? 37 : 34;
+  cfg.time_scale = opt.time_scale;
+  cfg.fault_stride = opt.stride;
+  depbench::Controller ctl(version, server, cfg);
+
+  depbench::ExperimentCell cell;
+  cell.os_name = os::os_version_name(version);
+  cell.server_name = server;
+  cell.baseline = ctl.run_profile_mode(fl, 120000, 1);
+  for (int i = 0; i < opt.iterations; ++i) {
+    cell.iterations.push_back(
+        ctl.run_iteration(fl, 1000 + static_cast<std::uint64_t>(i)));
+  }
+  return cell;
+}
+
+/// Runs all four cells (2 servers x 2 OS versions).
+inline std::vector<depbench::ExperimentCell> run_all_cells(
+    const CampaignOptions& opt) {
+  std::vector<std::string> functions;
+  for (const auto& fn : os::api_functions()) functions.push_back(fn.name);
+
+  std::vector<depbench::ExperimentCell> cells;
+  for (const auto version : {os::OsVersion::kVos2000, os::OsVersion::kVosXp}) {
+    os::Kernel scan_kernel(version);
+    const auto fl = swfit::Scanner{}.scan(scan_kernel.pristine_image(), functions);
+    for (const std::string server : {"apex", "abyssal"}) {
+      std::fprintf(stderr, "[campaign] %s on %s (%zu faults, stride %d, "
+                           "%d iterations)...\n",
+                   server.c_str(), os::os_version_name(version),
+                   fl.faults.size(), opt.stride, opt.iterations);
+      cells.push_back(run_cell(version, server, fl, opt));
+    }
+  }
+  return cells;
+}
+
+}  // namespace gf::benchrun

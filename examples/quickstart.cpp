@@ -1,0 +1,91 @@
+// Quickstart: the whole methodology in ~80 lines.
+//
+//   1. boot a simulated OS (the Fault Injection Target),
+//   2. generate a faultload with the G-SWFIT scanner,
+//   3. start a web server (the Benchmark Target) on top,
+//   4. inject one fault, exercise the server, observe the consequence,
+//   5. restore the pristine code byte-exactly.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "os/api.h"
+#include "os/kernel.h"
+#include "spec/client.h"
+#include "swfit/injector.h"
+#include "swfit/scanner.h"
+
+int main() {
+  using namespace gf;
+
+  // 1. The SUB: a VOS-2000 kernel plus the SPECWeb-style file set.
+  os::Kernel kernel(os::OsVersion::kVos2000);
+  os::OsApi api(kernel);
+  spec::Fileset fileset(kernel.disk());
+
+  // 2. G-SWFIT step 1: scan the OS API code for fault locations.
+  std::vector<std::string> functions;
+  for (const auto& fn : os::api_functions()) functions.push_back(fn.name);
+  const auto faultload = swfit::Scanner{}.scan(kernel.pristine_image(), functions);
+  std::printf("faultload: %zu faults over %zu API functions of %s\n",
+              faultload.faults.size(), functions.size(),
+              kernel.pristine_image().name().c_str());
+
+  // 3. The BT: an Apache-like server that only reaches the OS through the
+  // (mutable) API code.
+  auto server = web::make_server("apex", api);
+  if (!server->start()) {
+    std::printf("server failed to start\n");
+    return 1;
+  }
+
+  // A healthy request first.
+  spec::WorkloadGenerator gen(fileset, /*seed=*/42);
+  const auto req = gen.next();
+  auto resp = server->handle(req);
+  std::printf("healthy:  %s %s -> %d (%zu bytes)\n",
+              web::method_name(req.method), req.path.c_str(), resp.status,
+              resp.body.size());
+
+  // 4. G-SWFIT step 2: inject one fault into RtlFreeHeap and watch the
+  // consequence propagate through the API boundary.
+  swfit::Injector injector(kernel);
+  for (const auto& fault : faultload.faults) {
+    if (fault.function == "RtlFreeHeap" &&
+        fault.type == swfit::FaultType::kMVI) {
+      injector.inject(fault);
+      std::printf("injected: %s in %s at 0x%llx\n",
+                  swfit::fault_type_name(fault.type), fault.function.c_str(),
+                  static_cast<unsigned long long>(fault.addr));
+      break;
+    }
+  }
+  int errors = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto r = gen.next();
+    resp = server->handle(r);
+    const bool ok = spec::SpecClient::validate(r, resp, gen.size_of(r.path));
+    errors += !ok;
+    if (server->state() != web::ServerState::kRunning) {
+      std::printf("server state: %s after %d requests\n",
+                  web::server_state_name(server->state()), i + 1);
+      break;
+    }
+  }
+  std::printf("under fault: %d of 50 requests failed\n", errors);
+
+  // 5. Byte-exact restore; the OS heals after a reboot.
+  injector.restore();
+  kernel.reboot();
+  std::printf("restored: code digest matches pristine: %s\n",
+              kernel.active_image().code_digest() ==
+                      kernel.pristine_image().code_digest()
+                  ? "yes"
+                  : "NO");
+  if (server->state() != web::ServerState::kRunning) server->start();
+  const auto r2 = gen.next();
+  resp = server->handle(r2);
+  std::printf("healed:   %s -> %d (%zu bytes)\n", r2.path.c_str(), resp.status,
+              resp.body.size());
+  return 0;
+}

@@ -1,0 +1,224 @@
+#include "depbench/controller.h"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace gf::depbench {
+
+Controller::Controller(os::OsVersion version, const std::string& server_name,
+                       ControllerConfig cfg)
+    : cfg_(cfg),
+      kernel_(std::make_unique<os::Kernel>(version)),
+      api_(std::make_unique<os::OsApi>(*kernel_)),
+      fileset_(std::make_unique<spec::Fileset>(kernel_->disk())),
+      server_(web::make_server(server_name, *api_)) {
+  cfg_.client.connections = cfg_.connections;
+}
+
+spec::WindowMetrics Controller::run_baseline(double duration_ms,
+                                             std::uint64_t seed) {
+  kernel_->reboot();
+  if (!server_->start()) {
+    throw std::runtime_error("server failed to start on a healthy OS");
+  }
+  spec::WorkloadGenerator gen(*fileset_, seed);
+  spec::SpecClient client(cfg_.client);
+  auto m = client.run_window(*server_, gen, 0, duration_ms);
+  server_->stop();
+  return m;
+}
+
+spec::WindowMetrics Controller::run_profile_mode(const swfit::Faultload& fl,
+                                                 double duration_ms,
+                                                 std::uint64_t seed) {
+  kernel_->reboot();
+  if (!server_->start()) {
+    throw std::runtime_error("server failed to start on a healthy OS");
+  }
+  spec::WorkloadGenerator gen(*fileset_, seed);
+  // The injector runs co-located with the server (paper Fig. 3); its
+  // schedule bookkeeping and monitor polling steal a small CPU share,
+  // modeled as extra per-operation service time.
+  auto ccfg = cfg_.client;
+  ccfg.base_latency_ms += 0.1;
+  spec::SpecClient client(ccfg);
+
+  // Profile mode performs the complete injection workflow against the
+  // active image — schedule walking, original-window verification, monitor
+  // polling — without patching. Its cost is the injector's intrusiveness.
+  std::size_t fault_index = 0;
+  double next_swap = 0;
+  const double exposure = cfg_.fault_exposure_ms * cfg_.time_scale;
+  auto tick = [&](double now) {
+    if (now >= next_swap && !fl.faults.empty()) {
+      const auto& f = fl.faults[fault_index++ % fl.faults.size()];
+      // Verify the target window bytes as a real injection would.
+      for (std::size_t k = 0; k < f.window(); ++k) {
+        (void)kernel_->active_image().at(f.addr + k * isa::kInstrSize);
+      }
+      next_swap = now + exposure;
+    }
+    (void)server_->state();  // monitor poll
+  };
+
+  auto m = client.run_window(*server_, gen, 0, duration_ms, tick);
+  server_->stop();
+  return m;
+}
+
+IterationResult Controller::run_iteration(const swfit::Faultload& fl,
+                                          std::uint64_t seed) {
+  if (!fl.matches(kernel_->pristine_image())) {
+    throw std::invalid_argument(
+        "faultload was generated for a different OS build");
+  }
+  kernel_->reboot();
+  if (!server_->start()) {
+    throw std::runtime_error("server failed to start on a healthy OS");
+  }
+
+  spec::WorkloadGenerator gen(*fileset_, seed);
+  auto ccfg = cfg_.client;
+  // SPECWeb assesses conformance per batch; tie the batch length to the
+  // fault schedule so scaled runs keep the same batches-per-fault ratio.
+  ccfg.spc_batch_ms = 2 * cfg_.fault_exposure_ms * cfg_.time_scale;
+  spec::SpecClient client(ccfg);
+  swfit::Injector injector(*kernel_);
+  CampaignCounters counters;
+
+  // Monitor latencies shrink with the exposure so that scaled-down runs
+  // keep the same downtime-to-exposure ratios as a full-length campaign.
+  const double exposure = cfg_.fault_exposure_ms * cfg_.time_scale;
+  const double detect = cfg_.detect_ms * cfg_.time_scale;
+  const double restart_time = cfg_.admin_restart_ms * cfg_.time_scale;
+  const auto stride = static_cast<std::size_t>(std::max(1, cfg_.fault_stride));
+  std::size_t next_fault = 0;
+  double next_swap = 0;
+  int injected_this_slot = 0;
+  int self_restarts_this_fault = 0;
+
+  // Monitor bookkeeping.
+  double failure_noticed_at = -1;  ///< when the monitor saw the failure
+  double server_up_at = -1;        ///< restart completion time
+
+  auto begin_admin_restart = [&](double now) {
+    injector.restore();  // the 10 s exposure of this fault effectively ends
+    server_->stop();
+    kernel_->reboot();   // administrator reboots the corrupted OS
+    server_up_at = now + restart_time;
+  };
+
+  auto tick = [&](double now) {
+    // 1. Finish a pending restart.
+    if (server_up_at >= 0 && now >= server_up_at) {
+      if (server_->state() == web::ServerState::kStopped) {
+        if (server_->start()) {
+          server_up_at = -1;
+        } else {
+          // OS still too broken to boot the server; administrator retries.
+          kernel_->reboot();
+          server_up_at = now + restart_time;
+        }
+      } else {
+        server_up_at = -1;
+      }
+    }
+
+    // 2. Fault schedule: swap the active fault every `exposure` ms.
+    if (now >= next_swap) {
+      injector.restore();
+      self_restarts_this_fault = 0;
+      // Slot boundary (paper Fig. 4): the SUB is reset between slots; this
+      // scheduled maintenance is not an administrator intervention.
+      if (injected_this_slot >= cfg_.faults_per_slot &&
+          server_up_at < 0) {
+        injected_this_slot = 0;
+        server_->stop();
+        kernel_->reboot();
+        if (!server_->start()) {
+          server_up_at = now + restart_time;  // retried in step 1
+        }
+      }
+      if (next_fault < fl.faults.size()) {
+        if (!injector.inject(fl.faults[next_fault])) {
+          throw std::runtime_error("stale faultload: window mismatch");
+        }
+        ++counters.faults_injected;
+        ++injected_this_slot;
+        next_fault += stride;
+      }
+      next_swap = now + exposure;
+    }
+
+    // 3. Monitor the BT. Detection takes `detect` ms from the first
+    // observation of a failed state.
+    const auto state = server_->state();
+    if (state == web::ServerState::kRunning ||
+        state == web::ServerState::kStopped) {
+      failure_noticed_at = -1;
+      return;
+    }
+    if (failure_noticed_at < 0) {
+      failure_noticed_at = now;
+      return;
+    }
+    if (now - failure_noticed_at < detect) return;
+    failure_noticed_at = -1;
+
+    switch (state) {
+      case web::ServerState::kHung:
+        ++counters.kns;  // killed: not responding to requests
+        begin_admin_restart(now);
+        break;
+      case web::ServerState::kSpinning:
+        ++counters.kcp;  // killed: hogging the CPU without service
+        begin_admin_restart(now);
+        break;
+      case web::ServerState::kCrashed: {
+        // The watchdog gets the first shot; a crash-loop within one fault
+        // exposure exhausts its budget and needs the administrator.
+        // The dying process releases its OS resources (heap, handles are
+        // process-local state in VOS), so the respawned process starts
+        // clean — only the injected code fault itself can persist.
+        const bool budget_left =
+            self_restarts_this_fault < cfg_.self_restart_budget;
+        if (budget_left && server_->has_self_restart()) kernel_->reboot();
+        if (budget_left && server_->try_self_restart()) {
+          ++self_restarts_this_fault;
+          ++counters.self_restarts;
+        } else {
+          ++counters.mis;  // died and did not (or could not) self-restart
+          begin_admin_restart(now);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  };
+
+  const auto total_faults =
+      (fl.faults.size() + stride - 1) / stride;
+  const double duration = static_cast<double>(total_faults) * exposure;
+  GF_INFO() << "campaign iteration: " << server_->name() << " on "
+            << os::os_version_name(kernel_->version()) << ", "
+            << total_faults << " faults, " << duration / 1000 << " sim-s";
+  auto metrics = client.run_window(*server_, gen, 0, duration, tick);
+  GF_INFO() << "iteration done: ops=" << metrics.ops
+            << " er%=" << metrics.er_pct << " mis=" << counters.mis
+            << " kns=" << counters.kns << " kcp=" << counters.kcp;
+
+  injector.restore();
+  server_->stop();
+  kernel_->reboot();
+
+  IterationResult result;
+  result.metrics = metrics;
+  result.counters = counters;
+  return result;
+}
+
+}  // namespace gf::depbench

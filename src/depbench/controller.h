@@ -1,0 +1,93 @@
+// The experiment controller: the paper's injector-monitor (§3.1).
+//
+// One iteration walks the faultload, exposing each fault for 10 simulated
+// seconds while the SPECWeb-like client exercises the server, and monitors
+// the BT:
+//   - web server died and did not self-restart            -> MIS
+//   - killed because it stopped responding to requests    -> KNS
+//   - killed because it hogged the CPU without service    -> KCP
+// Administrator intervention (MIS/KNS/KCP) restarts the server and reboots
+// the OS; apex's watchdog self-restart restarts only the server process.
+//
+// The controller also implements the paper's baseline and "profile mode"
+// runs (Table 4): in profile mode the injector performs every task of an
+// injection campaign except the actual code patch, which measures the
+// instrumentation overhead.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "os/api.h"
+#include "os/kernel.h"
+#include "spec/client.h"
+#include "swfit/injector.h"
+
+namespace gf::depbench {
+
+struct ControllerConfig {
+  double fault_exposure_ms = 10000;  ///< 10 s per fault, as in the paper
+  double detect_ms = 2500;           ///< monitor latency to notice a failure
+  double admin_restart_ms = 3000;    ///< kill + OS reboot + server start
+  int connections = 37;              ///< offered load (baseline SPEC score)
+  double time_scale = 1.0;           ///< scales exposure & monitor latencies
+  int fault_stride = 1;              ///< inject every k-th fault (sampling)
+  /// Faults per slot (paper Fig. 4): at slot boundaries the SUB is not
+  /// exercised and gets a scheduled reset (OS reboot + server restart)
+  /// that does NOT count as administrator intervention.
+  int faults_per_slot = 24;
+  /// Watchdog tolerance: self-restarts allowed per fault exposure before
+  /// the monitor declares the server dead (MIS) and calls the admin.
+  int self_restart_budget = 2;
+  spec::ClientConfig client;  ///< timing model knobs
+};
+
+/// Injector-monitor counters for one iteration (Table 5 right half).
+struct CampaignCounters {
+  int mis = 0;
+  int kns = 0;
+  int kcp = 0;
+  int faults_injected = 0;
+  int self_restarts = 0;
+  /// ADMf: required administrator interventions (paper §3.2).
+  int admf() const noexcept { return mis + kns + kcp; }
+};
+
+struct IterationResult {
+  spec::WindowMetrics metrics;
+  CampaignCounters counters;
+};
+
+class Controller {
+ public:
+  /// Builds a fresh SUB: kernel of `version`, file set, server `name`.
+  Controller(os::OsVersion version, const std::string& server_name,
+             ControllerConfig cfg = {});
+
+  /// Baseline performance (no injector at all).
+  spec::WindowMetrics run_baseline(double duration_ms, std::uint64_t seed);
+
+  /// Injector in profile mode: every injection-campaign task runs (fault
+  /// schedule bookkeeping, code-window verification, monitor polling) but
+  /// the target is never patched.
+  spec::WindowMetrics run_profile_mode(const swfit::Faultload& fl,
+                                       double duration_ms, std::uint64_t seed);
+
+  /// One full campaign iteration over the faultload.
+  IterationResult run_iteration(const swfit::Faultload& fl, std::uint64_t seed);
+
+  os::Kernel& kernel() noexcept { return *kernel_; }
+  web::WebServer& server() noexcept { return *server_; }
+
+ private:
+  struct MonitorState;
+
+  ControllerConfig cfg_;
+  std::unique_ptr<os::Kernel> kernel_;
+  std::unique_ptr<os::OsApi> api_;
+  std::unique_ptr<spec::Fileset> fileset_;
+  std::unique_ptr<web::WebServer> server_;
+};
+
+}  // namespace gf::depbench

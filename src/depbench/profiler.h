@@ -1,0 +1,58 @@
+// Profiling phase (paper §2.4, §3.3): discovers which OS API functions the
+// benchmark-target category actually uses, so the faultload can be
+// restricted to code with a high activation rate.
+//
+// The SUB is exercised with the real workload while the OsApi call hook
+// counts invocations per function. Profiling several BTs of the same
+// category and intersecting the results (dropping negligible functions)
+// yields the Table 2 function set.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "os/sources.h"
+#include "spec/client.h"
+
+namespace gf::depbench {
+
+/// Per-function share of one server's API calls.
+struct ProfileColumn {
+  std::string server;
+  std::map<std::string, double> pct;  ///< function -> % of total calls
+  std::uint64_t total_calls = 0;
+};
+
+/// The cross-server profile (Table 2).
+struct ApiProfile {
+  std::vector<ProfileColumn> columns;
+  /// Functions used by every profiled server with average share >=
+  /// `min_avg_pct` — the fault injection target set.
+  std::vector<std::string> relevant_functions(double min_avg_pct = 0.05) const;
+  /// Average share of one function across columns.
+  double average_pct(const std::string& fn) const;
+  /// Sum of average shares over the relevant set ("total call coverage").
+  double total_coverage(double min_avg_pct = 0.05) const;
+};
+
+struct ProfilerConfig {
+  double window_ms = 60000;  ///< profiling run length per server (sim time)
+  int connections = 20;      ///< light load is enough to profile
+  std::uint64_t seed = 2004;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(ProfilerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Profiles the given servers (by factory name) on a fresh kernel of
+  /// `version` each. Returns one column per server that started.
+  ApiProfile profile(os::OsVersion version,
+                     const std::vector<std::string>& server_names) const;
+
+ private:
+  ProfilerConfig cfg_;
+};
+
+}  // namespace gf::depbench

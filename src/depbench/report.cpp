@@ -1,0 +1,117 @@
+#include "depbench/report.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace gf::depbench {
+
+AvgCounters average_counters(const std::vector<IterationResult>& iters) {
+  AvgCounters avg;
+  if (iters.empty()) return avg;
+  for (const auto& it : iters) {
+    avg.mis += it.counters.mis;
+    avg.kns += it.counters.kns;
+    avg.kcp += it.counters.kcp;
+    avg.self_restarts += it.counters.self_restarts;
+  }
+  const auto n = static_cast<double>(iters.size());
+  avg.mis /= n;
+  avg.kns /= n;
+  avg.kcp /= n;
+  avg.self_restarts /= n;
+  return avg;
+}
+
+spec::WindowMetrics average_iteration_metrics(
+    const std::vector<IterationResult>& iters) {
+  std::vector<spec::WindowMetrics> ms;
+  ms.reserve(iters.size());
+  for (const auto& it : iters) ms.push_back(it.metrics);
+  return spec::average_metrics(ms);
+}
+
+DependabilityMetrics derive_metrics(const ExperimentCell& cell) {
+  DependabilityMetrics d;
+  const auto avg = average_iteration_metrics(cell.iterations);
+  const auto counters = average_counters(cell.iterations);
+  d.spcf = avg.spc;
+  d.thrf = avg.thr;
+  d.rtmf = avg.rtm_ms;
+  d.erf_pct = avg.er_pct;
+  d.admf = counters.admf();
+  d.spc_rel = cell.baseline.spc > 0
+                  ? static_cast<double>(avg.spc) / cell.baseline.spc
+                  : 0.0;
+  d.thr_rel = cell.baseline.thr > 0 ? avg.thr / cell.baseline.thr : 0.0;
+  return d;
+}
+
+std::string render_table5_cell(const ExperimentCell& cell) {
+  util::Table t({"", "SPC", "THR", "RTM", "ER%", "MIS", "KCP", "KNS"});
+  auto row = [&](const std::string& label, const spec::WindowMetrics& m,
+                 double mis, double kcp, double kns) {
+    t.row()
+        .cell(label)
+        .cell(static_cast<long long>(m.spc))
+        .cell(m.thr, 1)
+        .cell(m.rtm_ms, 1)
+        .cell(m.er_pct, 1)
+        .cell(mis, 0)
+        .cell(kcp, 0)
+        .cell(kns, 0);
+  };
+  row("Baseline Perf.", cell.baseline, 0, 0, 0);
+  for (std::size_t i = 0; i < cell.iterations.size(); ++i) {
+    const auto& it = cell.iterations[i];
+    row("Iteration " + std::to_string(i + 1), it.metrics, it.counters.mis,
+        it.counters.kcp, it.counters.kns);
+  }
+  const auto avg = average_iteration_metrics(cell.iterations);
+  const auto counters = average_counters(cell.iterations);
+  t.row()
+      .cell("Average (all iter)")
+      .cell(static_cast<long long>(avg.spc))
+      .cell(avg.thr, 1)
+      .cell(avg.rtm_ms, 1)
+      .cell(avg.er_pct, 1)
+      .cell(counters.mis, 1)
+      .cell(counters.kcp, 1)
+      .cell(counters.kns, 1);
+
+  std::ostringstream out;
+  out << "B.T. = " << cell.server_name << " on " << cell.os_name << "\n"
+      << t.to_string();
+  return out.str();
+}
+
+std::string render_fig5(const std::vector<ExperimentCell>& cells) {
+  std::ostringstream out;
+  out << "Figure 5 — behaviour of the web servers in the presence of software "
+         "faults\n\n";
+
+  auto bar_line = [&](const std::string& label, double value, double max,
+                      const std::string& unit) {
+    out << "  " << label;
+    if (label.size() < 26) out << std::string(26 - label.size(), ' ');
+    out << "|" << util::bar(value, max) << "| " << util::fmt(value, 1) << unit
+        << "\n";
+  };
+
+  for (const auto& cell : cells) {
+    const auto d = derive_metrics(cell);
+    out << cell.server_name << " on " << cell.os_name << ":\n";
+    bar_line("SPC  baseline", cell.baseline.spc, 40, "");
+    bar_line("SPCf with faults", d.spcf, 40, "");
+    bar_line("THR  baseline (ops/s)", cell.baseline.thr, 130, "");
+    bar_line("THRf with faults", d.thrf, 130, "");
+    bar_line("RTM  baseline (ms)", cell.baseline.rtm_ms, 500, "");
+    bar_line("RTMf with faults", d.rtmf, 500, "");
+    bar_line("ER%f", d.erf_pct, 30, "%");
+    bar_line("ADMf (interventions)", d.admf, 250, "");
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gf::depbench

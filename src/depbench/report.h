@@ -1,0 +1,49 @@
+// Report layer: aggregates iterations into the paper's Table 5 rows and the
+// Figure 5 comparison series (dependability metrics of §3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "depbench/controller.h"
+
+namespace gf::depbench {
+
+/// All results for one (OS, server) pair.
+struct ExperimentCell {
+  std::string os_name;
+  std::string server_name;
+  spec::WindowMetrics baseline;  ///< injector-in-profile-mode run
+  std::vector<IterationResult> iterations;
+};
+
+/// Averages counters over iterations (real-valued, as in the paper).
+struct AvgCounters {
+  double mis = 0, kns = 0, kcp = 0, self_restarts = 0;
+  double admf() const noexcept { return mis + kns + kcp; }
+};
+
+AvgCounters average_counters(const std::vector<IterationResult>& iters);
+spec::WindowMetrics average_iteration_metrics(
+    const std::vector<IterationResult>& iters);
+
+/// The paper's §3.2 dependability metrics, derived per cell.
+struct DependabilityMetrics {
+  double spcf = 0;      ///< SPC under faults
+  double thrf = 0;      ///< THR under faults
+  double rtmf = 0;      ///< RTM under faults
+  double erf_pct = 0;   ///< ER% under faults
+  double admf = 0;      ///< administrator interventions
+  double spc_rel = 0;   ///< SPCf / baseline SPC (performance retention)
+  double thr_rel = 0;   ///< THRf / baseline THR
+};
+
+DependabilityMetrics derive_metrics(const ExperimentCell& cell);
+
+/// Renders the Table 5 block for one cell (baseline + iterations + average).
+std::string render_table5_cell(const ExperimentCell& cell);
+
+/// Renders the Figure 5 comparison (bars) for a set of cells.
+std::string render_fig5(const std::vector<ExperimentCell>& cells);
+
+}  // namespace gf::depbench

@@ -1,0 +1,19 @@
+#include "depbench/tuner.h"
+
+namespace gf::depbench {
+
+TunedFaultload tune_faultload(os::Kernel& kernel,
+                              const std::vector<std::string>& profile_servers,
+                              const ProfilerConfig& pcfg,
+                              const swfit::ScanOptions& scan_opts,
+                              double min_avg_pct) {
+  TunedFaultload out;
+  Profiler profiler(pcfg);
+  out.profile = profiler.profile(kernel.version(), profile_servers);
+  out.functions = out.profile.relevant_functions(min_avg_pct);
+  swfit::Scanner scanner(scan_opts);
+  out.faultload = scanner.scan(kernel.pristine_image(), out.functions);
+  return out;
+}
+
+}  // namespace gf::depbench

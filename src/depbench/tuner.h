@@ -1,0 +1,28 @@
+// Faultload fine-tuning (paper §2.4): combines the profiling phase with the
+// G-SWFIT scanner to produce the final, activation-optimized faultload — a
+// scan of the OS image restricted to the API functions the BT category
+// heavily uses.
+#pragma once
+
+#include "depbench/profiler.h"
+#include "os/kernel.h"
+#include "swfit/scanner.h"
+
+namespace gf::depbench {
+
+struct TunedFaultload {
+  ApiProfile profile;                  ///< the Table 2 data
+  std::vector<std::string> functions;  ///< the intersected function set
+  swfit::Faultload faultload;          ///< the Table 3 faultload
+};
+
+/// Runs the full fine-tuning pipeline for one OS version: profile the
+/// server category, intersect, scan. `kernel` supplies the image to scan
+/// (it must be the same OS version the profile is taken on).
+TunedFaultload tune_faultload(os::Kernel& kernel,
+                              const std::vector<std::string>& profile_servers,
+                              const ProfilerConfig& pcfg = {},
+                              const swfit::ScanOptions& scan_opts = {},
+                              double min_avg_pct = 0.05);
+
+}  // namespace gf::depbench

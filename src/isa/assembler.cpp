@@ -1,0 +1,275 @@
+#include "isa/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace gf::isa {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw AsmError("asm error at line " + std::to_string(line) + ": " + msg);
+}
+
+std::string strip(std::string s) {
+  const auto semi = s.find(';');
+  if (semi != std::string::npos) s.erase(semi);
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, last - begin + 1);
+}
+
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cur = strip(cur);
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::optional<std::uint8_t> parse_reg(const std::string& t) {
+  if (t == "sp") return kRegSp;
+  if (t == "fp") return kRegFp;
+  if (t.size() >= 2 && (t[0] == 'r' || t[0] == 'R')) {
+    int n = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(t[i]))) return std::nullopt;
+      n = n * 10 + (t[i] - '0');
+    }
+    if (n < kNumRegs) return static_cast<std::uint8_t>(n);
+  }
+  return std::nullopt;
+}
+
+struct MemRef {
+  std::uint8_t base;
+  std::int32_t off;
+};
+
+// "[reg, off]" or "[reg]"
+std::optional<MemRef> parse_mem(const std::string& t, int line) {
+  if (t.size() < 3 || t.front() != '[' || t.back() != ']') return std::nullopt;
+  const auto inner = split_operands(t.substr(1, t.size() - 2));
+  if (inner.empty() || inner.size() > 2) fail(line, "bad memory operand: " + t);
+  const auto base = parse_reg(inner[0]);
+  if (!base) fail(line, "bad base register: " + inner[0]);
+  std::int32_t off = 0;
+  if (inner.size() == 2) off = static_cast<std::int32_t>(std::stol(inner[1], nullptr, 0));
+  return MemRef{*base, off};
+}
+
+std::int32_t parse_imm(const std::string& t, int line) {
+  try {
+    return static_cast<std::int32_t>(std::stol(t, nullptr, 0));
+  } catch (const std::exception&) {
+    fail(line, "bad immediate: " + t);
+  }
+}
+
+Op op_by_name(const std::string& n) {
+  for (int i = 0; i < static_cast<int>(Op::kOpCount_); ++i) {
+    const auto op = static_cast<Op>(i);
+    if (n == op_name(op)) return op;
+  }
+  return Op::kOpCount_;
+}
+
+}  // namespace
+
+Image assemble(std::string_view source, std::string image_name, std::uint64_t base) {
+  struct Line {
+    int number;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+  };
+
+  std::map<std::string, std::uint64_t> labels;
+  std::vector<std::pair<std::string, std::uint64_t>> label_order;
+  std::vector<Line> lines;
+
+  // Pass 1: record label addresses and normalize instruction lines.
+  {
+    std::istringstream in{std::string(source)};
+    std::string raw;
+    int number = 0;
+    std::uint64_t pc = base;
+    while (std::getline(in, raw)) {
+      ++number;
+      std::string s = strip(raw);
+      if (s.empty()) continue;
+      while (!s.empty() && s.back() == ':') {
+        // Possibly multiple labels on one line is not supported; one is.
+        const std::string label = strip(s.substr(0, s.size() - 1));
+        if (label.empty()) fail(number, "empty label");
+        if (labels.count(label)) fail(number, "duplicate label: " + label);
+        labels[label] = pc;
+        label_order.emplace_back(label, pc);
+        s.clear();
+      }
+      if (s.empty()) continue;
+      const auto space = s.find_first_of(" \t");
+      Line line;
+      line.number = number;
+      line.mnemonic = s.substr(0, space);
+      std::transform(line.mnemonic.begin(), line.mnemonic.end(),
+                     line.mnemonic.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+      if (space != std::string::npos) {
+        line.operands = split_operands(s.substr(space + 1));
+      }
+      lines.push_back(std::move(line));
+      pc += kInstrSize;
+    }
+  }
+
+  auto resolve = [&](const std::string& t, int line_no) -> std::int32_t {
+    if (!t.empty() && t[0] == '@') {
+      const auto it = labels.find(t.substr(1));
+      if (it == labels.end()) fail(line_no, "unknown label: " + t.substr(1));
+      return static_cast<std::int32_t>(it->second);
+    }
+    return parse_imm(t, line_no);
+  };
+
+  Image img(std::move(image_name), base);
+
+  // Pass 2: encode.
+  for (const auto& line : lines) {
+    const int ln = line.number;
+    const auto& ops = line.operands;
+    const Op op = op_by_name(line.mnemonic);
+    if (op == Op::kOpCount_) fail(ln, "unknown mnemonic: " + line.mnemonic);
+    Instr in;
+    in.op = op;
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        fail(ln, line.mnemonic + " expects " + std::to_string(n) + " operands");
+      }
+    };
+    auto reg = [&](const std::string& t) -> std::uint8_t {
+      const auto r = parse_reg(t);
+      if (!r) fail(ln, "bad register: " + t);
+      return *r;
+    };
+    switch (op) {
+      case Op::kNop:
+      case Op::kHalt:
+      case Op::kRet:
+        need(0);
+        break;
+      case Op::kMovI:
+        need(2);
+        in.rd = reg(ops[0]);
+        in.imm = resolve(ops[1], ln);
+        break;
+      case Op::kMov:
+      case Op::kNot:
+      case Op::kNeg:
+        need(2);
+        in.rd = reg(ops[0]);
+        in.rs1 = reg(ops[1]);
+        break;
+      case Op::kLd:
+      case Op::kLdB: {
+        need(2);
+        in.rd = reg(ops[0]);
+        const auto m = parse_mem(ops[1], ln);
+        if (!m) fail(ln, "expected memory operand: " + ops[1]);
+        in.rs1 = m->base;
+        in.imm = m->off;
+        break;
+      }
+      case Op::kSt:
+      case Op::kStB: {
+        need(2);
+        const auto m = parse_mem(ops[0], ln);
+        if (!m) fail(ln, "expected memory operand: " + ops[0]);
+        in.rs1 = m->base;
+        in.imm = m->off;
+        in.rs2 = reg(ops[1]);
+        break;
+      }
+      case Op::kAddI:
+        need(3);
+        in.rd = reg(ops[0]);
+        in.rs1 = reg(ops[1]);
+        in.imm = parse_imm(ops[2], ln);
+        break;
+      case Op::kCmp:
+        need(2);
+        in.rs1 = reg(ops[0]);
+        in.rs2 = reg(ops[1]);
+        break;
+      case Op::kCmpI:
+        need(2);
+        in.rs1 = reg(ops[0]);
+        in.imm = parse_imm(ops[1], ln);
+        break;
+      case Op::kJmp:
+      case Op::kJz:
+      case Op::kJnz:
+      case Op::kJlt:
+      case Op::kJle:
+      case Op::kJgt:
+      case Op::kJge:
+      case Op::kCall:
+        need(1);
+        in.imm = resolve(ops[0], ln);
+        break;
+      case Op::kCallR:
+      case Op::kPush:
+        need(1);
+        in.rs1 = reg(ops[0]);
+        break;
+      case Op::kPop:
+        need(1);
+        in.rd = reg(ops[0]);
+        break;
+      case Op::kSys:
+        need(1);
+        in.imm = parse_imm(ops[0], ln);
+        break;
+      default:
+        if (is_alu(op)) {
+          need(3);
+          in.rd = reg(ops[0]);
+          in.rs1 = reg(ops[1]);
+          in.rs2 = reg(ops[2]);
+        } else {
+          fail(ln, "unhandled mnemonic: " + line.mnemonic);
+        }
+        break;
+    }
+    img.append(in);
+  }
+
+  // Labels become symbols sized to the next label (or end of image).
+  for (std::size_t i = 0; i < label_order.size(); ++i) {
+    const auto& [name, addr] = label_order[i];
+    const std::uint64_t next =
+        i + 1 < label_order.size() ? label_order[i + 1].second : img.end();
+    img.add_symbol(Symbol{name, addr, next - addr});
+  }
+  return img;
+}
+
+}  // namespace gf::isa

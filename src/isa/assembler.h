@@ -1,0 +1,36 @@
+// Two-pass textual assembler for VISA. Used by tests and examples to author
+// small code fragments without going through the MiniC compiler.
+//
+// Syntax (one instruction or label per line, ';' starts a comment):
+//   label:
+//     movi r1, 42
+//     addi sp, sp, -16
+//     ld   r0, [fp, -8]
+//     st   [fp, -8], r0
+//     cmp  r1, r2
+//     jlt  @label
+//     call @function
+//     sys  3
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/image.h"
+
+namespace gf::isa {
+
+/// Thrown on any syntax or linkage error; message includes the line number.
+class AsmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Assembles `source` into an image based at `base`. Labels become symbols
+/// (size = distance to the next label or end of code).
+Image assemble(std::string_view source, std::string image_name = "asm",
+               std::uint64_t base = 0x1000);
+
+}  // namespace gf::isa

@@ -1,0 +1,53 @@
+#include "isa/image.h"
+
+namespace gf::isa {
+
+std::uint64_t Image::append(const Instr& in) {
+  const std::uint64_t addr = base_ + code_.size();
+  std::uint8_t buf[kInstrSize];
+  encode(in, buf);
+  code_.insert(code_.end(), buf, buf + kInstrSize);
+  return addr;
+}
+
+std::optional<Instr> Image::at(std::uint64_t addr) const noexcept {
+  if (addr < base_ || addr + kInstrSize > end()) return std::nullopt;
+  const std::uint64_t off = addr - base_;
+  if (off % kInstrSize != 0) return std::nullopt;
+  return decode(code_.data() + off);
+}
+
+bool Image::patch(std::uint64_t addr, const Instr& in) noexcept {
+  if (addr < base_ || addr + kInstrSize > end()) return false;
+  const std::uint64_t off = addr - base_;
+  if (off % kInstrSize != 0) return false;
+  encode(in, code_.data() + off);
+  return true;
+}
+
+void Image::add_symbol(Symbol sym) { symbols_.push_back(std::move(sym)); }
+
+const Symbol* Image::find_symbol(const std::string& name) const noexcept {
+  for (const auto& s : symbols_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const Symbol* Image::symbol_at(std::uint64_t addr) const noexcept {
+  for (const auto& s : symbols_) {
+    if (addr >= s.addr && addr < s.addr + s.size) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t Image::code_digest() const noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::uint8_t b : code_) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace gf::isa

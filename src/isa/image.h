@@ -1,0 +1,72 @@
+// Program image: a code segment plus a symbol table. This is the unit the
+// MiniC compiler produces, the VM loads, and the G-SWFIT scanner analyzes —
+// the analogue of the paper's target executable module (ntdll/kernel32).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace gf::isa {
+
+/// One linked symbol (a function) inside an image.
+struct Symbol {
+  std::string name;
+  std::uint64_t addr = 0;  ///< absolute byte address of the first instruction
+  std::uint64_t size = 0;  ///< code size in bytes (multiple of kInstrSize)
+};
+
+/// An executable module. Addresses inside `code` are absolute: instruction i
+/// of the image lives at `base + i * kInstrSize`, and jump targets emitted by
+/// the compiler are absolute too, so the image must be loaded at `base`.
+class Image {
+ public:
+  Image() = default;
+  Image(std::string name, std::uint64_t base) : name_(std::move(name)), base_(base) {}
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t base() const noexcept { return base_; }
+  std::uint64_t size() const noexcept { return code_.size(); }
+  std::uint64_t end() const noexcept { return base_ + code_.size(); }
+
+  std::span<const std::uint8_t> code() const noexcept { return code_; }
+  std::vector<std::uint8_t>& mutable_code() noexcept { return code_; }
+
+  /// Appends one instruction; returns its absolute address.
+  std::uint64_t append(const Instr& in);
+
+  /// Reads the instruction at absolute address `addr` (must be in range and
+  /// aligned); returns nullopt otherwise or when the bytes do not decode.
+  std::optional<Instr> at(std::uint64_t addr) const noexcept;
+
+  /// Overwrites the instruction at absolute address `addr`.
+  /// Returns false when out of range/unaligned.
+  bool patch(std::uint64_t addr, const Instr& in) noexcept;
+
+  void add_symbol(Symbol sym);
+  const std::vector<Symbol>& symbols() const noexcept { return symbols_; }
+  const Symbol* find_symbol(const std::string& name) const noexcept;
+  /// Symbol whose [addr, addr+size) contains `addr`, or nullptr.
+  const Symbol* symbol_at(std::uint64_t addr) const noexcept;
+
+  /// Number of instructions in the image.
+  std::uint64_t instr_count() const noexcept { return code_.size() / kInstrSize; }
+
+  /// FNV-1a digest of the code bytes — used by faultload files to check that
+  /// a faultload is applied to the exact module version it was generated
+  /// from (the paper's faultloads are OS-version specific).
+  std::uint64_t code_digest() const noexcept;
+
+ private:
+  std::string name_;
+  std::uint64_t base_ = 0;
+  std::vector<std::uint8_t> code_;
+  std::vector<Symbol> symbols_;
+};
+
+}  // namespace gf::isa

@@ -1,0 +1,93 @@
+// MiniC abstract syntax tree.
+//
+// The only data type is the 64-bit signed integer. Memory is reached through
+// the load/store intrinsics, kernel intrinsics through sys(n, ...). This is
+// deliberately austere: it keeps the compiler small while still expressing
+// real systems code (allocators, string conversion, handle tables).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gf::minic {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class UnOp : std::uint8_t { kNeg, kNot, kBitNot };
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogAnd, kLogOr,
+};
+
+enum class ExprKind : std::uint8_t {
+  kNumber,   ///< literal (or resolved const)
+  kVar,      ///< local variable / parameter reference
+  kUnary,
+  kBinary,
+  kCall,     ///< user function call or intrinsic (load/store/load8/store8/sys)
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // kNumber
+  std::int64_t value = 0;
+  // kVar / kCall
+  std::string name;
+  int var_slot = -1;  ///< filled by sema: local slot index
+  // kUnary / kBinary
+  UnOp un_op = UnOp::kNeg;
+  BinOp bin_op = BinOp::kAdd;
+  ExprPtr lhs, rhs;  ///< unary uses lhs only
+  // kCall
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  kVarDecl,   ///< var name [= init];
+  kAssign,    ///< name = expr;
+  kExpr,      ///< expr; (function call for effect)
+  kIf,
+  kWhile,
+  kReturn,    ///< return [expr];
+  kBreak,
+  kContinue,
+  kBlock,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::string name;   ///< kVarDecl / kAssign target
+  int var_slot = -1;  ///< filled by sema
+  ExprPtr expr;       ///< init / value / condition / return value
+  std::vector<StmtPtr> body;       ///< kBlock, kIf then, kWhile body
+  std::vector<StmtPtr> else_body;  ///< kIf else
+};
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+  int num_slots = 0;  ///< params + locals, filled by sema
+};
+
+struct Program {
+  // const name = value; (resolved into kNumber during parsing)
+  std::vector<std::pair<std::string, std::int64_t>> consts;
+  std::vector<Function> functions;
+};
+
+}  // namespace gf::minic

@@ -1,0 +1,504 @@
+#include "minic/codegen.h"
+
+#include <limits>
+#include <map>
+
+#include "minic/lexer.h"
+#include "minic/sema.h"
+
+namespace gf::minic {
+
+using isa::Instr;
+using isa::Op;
+
+namespace {
+
+constexpr std::uint8_t kR0 = 0;   // result / scratch
+constexpr std::uint8_t kT0 = 7;   // expression temporaries
+constexpr std::uint8_t kT1 = 8;
+
+class CodeGen {
+ public:
+  CodeGen(const Program& prog, std::string image_name, std::uint64_t base)
+      : prog_(prog), name_(std::move(image_name)), base_(base) {}
+
+  isa::Image run() {
+    for (const auto& fn : prog_.functions) gen_function(fn);
+    return link();
+  }
+
+ private:
+  struct Pending {
+    std::size_t instr_index;
+    int label = -1;          ///< local label id, or
+    std::string callee;      ///< function name for CALL fixups
+  };
+  struct FuncRecord {
+    std::string name;
+    std::size_t first_instr;
+    std::size_t end_instr;
+  };
+
+  // --- emission helpers ----------------------------------------------------
+  std::size_t emit(Instr in) {
+    code_.push_back(in);
+    return code_.size() - 1;
+  }
+  std::size_t emit(Op op, std::uint8_t rd = 0, std::uint8_t rs1 = 0,
+                   std::uint8_t rs2 = 0, std::int32_t imm = 0) {
+    return emit(Instr{op, rd, rs1, rs2, imm});
+  }
+
+  int new_label() {
+    label_pos_.push_back(-1);
+    return static_cast<int>(label_pos_.size()) - 1;
+  }
+  void bind(int label) {
+    label_pos_[static_cast<std::size_t>(label)] = static_cast<std::int64_t>(code_.size());
+  }
+  void emit_jump(Op op, int label) {
+    fixups_.push_back({emit(op), label, {}});
+  }
+  void emit_call(const std::string& callee, int line) {
+    if (!fn_exists(callee)) throw CompileError(line, "call to unknown function: " + callee);
+    fixups_.push_back({emit(Op::kCall), -1, callee});
+  }
+  bool fn_exists(const std::string& n) const {
+    for (const auto& f : prog_.functions) {
+      if (f.name == n) return true;
+    }
+    return false;
+  }
+
+  static std::int32_t imm32(std::int64_t v, int line) {
+    if (v < std::numeric_limits<std::int32_t>::min() ||
+        v > std::numeric_limits<std::int32_t>::max()) {
+      throw CompileError(line, "constant does not fit in 32 bits");
+    }
+    return static_cast<std::int32_t>(v);
+  }
+
+  static std::int32_t slot_off(int slot) { return -8 * (slot + 1); }
+
+  // --- function ------------------------------------------------------------
+  void gen_function(const Function& fn) {
+    const std::size_t first = code_.size();
+    ret_label_ = new_label();
+    break_labels_.clear();
+    continue_labels_.clear();
+
+    // Prologue.
+    emit(Op::kPush, 0, isa::kRegFp);
+    emit(Op::kMov, isa::kRegFp, isa::kRegSp);
+    if (fn.num_slots > 0) {
+      emit(Op::kAddI, isa::kRegSp, isa::kRegSp, 0, -8 * fn.num_slots);
+    }
+    // Spill parameters into their slots.
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      emit(Op::kSt, 0, isa::kRegFp,
+           static_cast<std::uint8_t>(isa::kRegArg0 + i),
+           slot_off(static_cast<int>(i)));
+    }
+
+    for (const auto& s : fn.body) gen_stmt(*s);
+
+    // Fall-through return value is 0.
+    emit(Op::kMovI, kR0, 0, 0, 0);
+    // Epilogue (single exit).
+    bind(ret_label_);
+    emit(Op::kMov, isa::kRegSp, isa::kRegFp);
+    emit(Op::kPop, isa::kRegFp);
+    emit(Op::kRet);
+
+    funcs_.push_back({fn.name, first, code_.size()});
+  }
+
+  // --- statements ----------------------------------------------------------
+  void gen_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kVarDecl:
+        if (s.expr) {
+          gen_expr(*s.expr);
+          emit(Op::kSt, 0, isa::kRegFp, kR0, slot_off(s.var_slot));
+        }
+        break;
+      case StmtKind::kAssign:
+        gen_expr(*s.expr);
+        emit(Op::kSt, 0, isa::kRegFp, kR0, slot_off(s.var_slot));
+        break;
+      case StmtKind::kExpr:
+        gen_expr(*s.expr);
+        break;
+      case StmtKind::kIf: {
+        if (s.else_body.empty()) {
+          const int end = new_label();
+          branch_false(*s.expr, end);
+          for (const auto& b : s.body) gen_stmt(*b);
+          bind(end);
+        } else {
+          const int els = new_label();
+          const int end = new_label();
+          branch_false(*s.expr, els);
+          for (const auto& b : s.body) gen_stmt(*b);
+          emit_jump(Op::kJmp, end);
+          bind(els);
+          for (const auto& b : s.else_body) gen_stmt(*b);
+          bind(end);
+        }
+        break;
+      }
+      case StmtKind::kWhile: {
+        const int cond = new_label();
+        const int end = new_label();
+        bind(cond);
+        branch_false(*s.expr, end);
+        break_labels_.push_back(end);
+        continue_labels_.push_back(cond);
+        for (const auto& b : s.body) gen_stmt(*b);
+        break_labels_.pop_back();
+        continue_labels_.pop_back();
+        emit_jump(Op::kJmp, cond);
+        bind(end);
+        break;
+      }
+      case StmtKind::kReturn:
+        if (s.expr) {
+          gen_expr(*s.expr);
+        } else {
+          emit(Op::kMovI, kR0, 0, 0, 0);
+        }
+        emit_jump(Op::kJmp, ret_label_);
+        break;
+      case StmtKind::kBreak:
+        emit_jump(Op::kJmp, break_labels_.back());
+        break;
+      case StmtKind::kContinue:
+        emit_jump(Op::kJmp, continue_labels_.back());
+        break;
+      case StmtKind::kBlock:
+        for (const auto& b : s.body) gen_stmt(*b);
+        break;
+    }
+  }
+
+  // --- conditions (short-circuit, branch-based) ----------------------------
+  static Op cmp_branch_op(BinOp op, bool on_true) {
+    // Branch op taken when the comparison is true (on_true) or false.
+    switch (op) {
+      case BinOp::kEq: return on_true ? Op::kJz : Op::kJnz;
+      case BinOp::kNe: return on_true ? Op::kJnz : Op::kJz;
+      case BinOp::kLt: return on_true ? Op::kJlt : Op::kJge;
+      case BinOp::kLe: return on_true ? Op::kJle : Op::kJgt;
+      case BinOp::kGt: return on_true ? Op::kJgt : Op::kJle;
+      case BinOp::kGe: return on_true ? Op::kJge : Op::kJlt;
+      default: return Op::kNop;
+    }
+  }
+
+  static bool is_comparison(BinOp op) {
+    return cmp_branch_op(op, true) != Op::kNop;
+  }
+
+  static bool is_simple(const Expr& e) {
+    return e.kind == ExprKind::kNumber || e.kind == ExprKind::kVar;
+  }
+
+  /// Loads a simple expression directly into `rd` (MOVI / LD idiom).
+  void load_simple(const Expr& e, std::uint8_t rd) {
+    if (e.kind == ExprKind::kNumber) {
+      emit(Op::kMovI, rd, 0, 0, imm32(e.value, e.line));
+    } else {
+      emit(Op::kLd, rd, isa::kRegFp, 0, slot_off(e.var_slot));
+    }
+  }
+
+  /// Emits the comparison test (CMP/CMPI) for lhs <op> rhs.
+  void emit_compare(const Expr& lhs, const Expr& rhs) {
+    if (is_simple(lhs) && rhs.kind == ExprKind::kNumber) {
+      load_simple(lhs, kR0);
+      emit(Op::kCmpI, 0, kR0, 0, imm32(rhs.value, rhs.line));
+      return;
+    }
+    if (is_simple(lhs) && is_simple(rhs)) {
+      load_simple(lhs, kR0);
+      load_simple(rhs, kT0);
+      emit(Op::kCmp, 0, kR0, kT0);
+      return;
+    }
+    gen_expr(lhs);
+    emit(Op::kPush, 0, kR0);
+    gen_expr(rhs);
+    emit(Op::kMov, kT0, kR0);
+    emit(Op::kPop, kR0);
+    emit(Op::kCmp, 0, kR0, kT0);
+  }
+
+  void branch_false(const Expr& e, int target) {
+    if (e.kind == ExprKind::kBinary) {
+      if (e.bin_op == BinOp::kLogAnd) {
+        branch_false(*e.lhs, target);
+        branch_false(*e.rhs, target);
+        return;
+      }
+      if (e.bin_op == BinOp::kLogOr) {
+        const int is_true = new_label();
+        branch_true(*e.lhs, is_true);
+        branch_false(*e.rhs, target);
+        bind(is_true);
+        return;
+      }
+      if (is_comparison(e.bin_op)) {
+        emit_compare(*e.lhs, *e.rhs);
+        emit_jump(cmp_branch_op(e.bin_op, /*on_true=*/false), target);
+        return;
+      }
+    }
+    if (e.kind == ExprKind::kUnary && e.un_op == UnOp::kNot) {
+      branch_true(*e.lhs, target);
+      return;
+    }
+    gen_expr(e);
+    emit(Op::kCmpI, 0, kR0, 0, 0);
+    emit_jump(Op::kJz, target);
+  }
+
+  void branch_true(const Expr& e, int target) {
+    if (e.kind == ExprKind::kBinary) {
+      if (e.bin_op == BinOp::kLogOr) {
+        branch_true(*e.lhs, target);
+        branch_true(*e.rhs, target);
+        return;
+      }
+      if (e.bin_op == BinOp::kLogAnd) {
+        const int is_false = new_label();
+        branch_false(*e.lhs, is_false);
+        branch_true(*e.rhs, target);
+        bind(is_false);
+        return;
+      }
+      if (is_comparison(e.bin_op)) {
+        emit_compare(*e.lhs, *e.rhs);
+        emit_jump(cmp_branch_op(e.bin_op, /*on_true=*/true), target);
+        return;
+      }
+    }
+    if (e.kind == ExprKind::kUnary && e.un_op == UnOp::kNot) {
+      branch_false(*e.lhs, target);
+      return;
+    }
+    gen_expr(e);
+    emit(Op::kCmpI, 0, kR0, 0, 0);
+    emit_jump(Op::kJnz, target);
+  }
+
+  // --- expressions (value in r0) --------------------------------------------
+  static Op alu_op(BinOp op) {
+    switch (op) {
+      case BinOp::kAdd: return Op::kAdd;
+      case BinOp::kSub: return Op::kSub;
+      case BinOp::kMul: return Op::kMul;
+      case BinOp::kDiv: return Op::kDiv;
+      case BinOp::kMod: return Op::kMod;
+      case BinOp::kAnd: return Op::kAnd;
+      case BinOp::kOr: return Op::kOr;
+      case BinOp::kXor: return Op::kXor;
+      case BinOp::kShl: return Op::kShl;
+      case BinOp::kShr: return Op::kShr;
+      default: return Op::kNop;
+    }
+  }
+
+  void gen_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        emit(Op::kMovI, kR0, 0, 0, imm32(e.value, e.line));
+        break;
+      case ExprKind::kVar:
+        emit(Op::kLd, kR0, isa::kRegFp, 0, slot_off(e.var_slot));
+        break;
+      case ExprKind::kUnary:
+        gen_expr(*e.lhs);
+        switch (e.un_op) {
+          case UnOp::kNeg: emit(Op::kNeg, kR0, kR0); break;
+          case UnOp::kBitNot: emit(Op::kNot, kR0, kR0); break;
+          case UnOp::kNot: {
+            const int t = new_label();
+            emit(Op::kCmpI, 0, kR0, 0, 0);
+            emit(Op::kMovI, kR0, 0, 0, 1);
+            emit_jump(Op::kJz, t);
+            emit(Op::kMovI, kR0, 0, 0, 0);
+            bind(t);
+            break;
+          }
+        }
+        break;
+      case ExprKind::kBinary: {
+        const Op alu = alu_op(e.bin_op);
+        if (alu != Op::kNop) {
+          if (is_simple(*e.lhs) && is_simple(*e.rhs)) {
+            load_simple(*e.lhs, kR0);
+            load_simple(*e.rhs, kT0);
+            emit(alu, kR0, kR0, kT0);
+          } else {
+            gen_expr(*e.lhs);
+            emit(Op::kPush, 0, kR0);
+            gen_expr(*e.rhs);
+            emit(Op::kMov, kT0, kR0);
+            emit(Op::kPop, kR0);
+            emit(alu, kR0, kR0, kT0);
+          }
+          break;
+        }
+        if (is_comparison(e.bin_op)) {
+          const int t = new_label();
+          emit_compare(*e.lhs, *e.rhs);
+          emit(Op::kMovI, kR0, 0, 0, 1);
+          emit_jump(cmp_branch_op(e.bin_op, /*on_true=*/true), t);
+          emit(Op::kMovI, kR0, 0, 0, 0);
+          bind(t);
+          break;
+        }
+        // Logical &&/|| materialized via the branch form.
+        {
+          const int f = new_label();
+          const int end = new_label();
+          branch_false(e, f);
+          emit(Op::kMovI, kR0, 0, 0, 1);
+          emit_jump(Op::kJmp, end);
+          bind(f);
+          emit(Op::kMovI, kR0, 0, 0, 0);
+          bind(end);
+        }
+        break;
+      }
+      case ExprKind::kCall:
+        gen_call(e);
+        break;
+    }
+  }
+
+  /// True for binary expressions with two simple operands and an ALU op —
+  /// these are emitted straight into an argument register (the WAEP idiom).
+  static bool is_simple_alu(const Expr& e) {
+    return e.kind == ExprKind::kBinary && alu_op(e.bin_op) != Op::kNop &&
+           is_simple(*e.lhs) && is_simple(*e.rhs);
+  }
+
+  /// Places call/sys arguments in r(first)..: complex args via push/pop,
+  /// simple and simple-ALU args loaded directly (scanner-visible idioms).
+  void place_args(const std::vector<ExprPtr>& args, std::size_t first_arg_index,
+                  std::uint8_t first_reg) {
+    // Pass 1: evaluate complex arguments left to right, push results.
+    for (std::size_t i = first_arg_index; i < args.size(); ++i) {
+      const Expr& a = *args[i];
+      if (!is_simple(a) && !is_simple_alu(a)) {
+        gen_expr(a);
+        emit(Op::kPush, 0, kR0);
+      }
+    }
+    // Pass 2: pop complex arguments into their registers (reverse order).
+    for (std::size_t i = args.size(); i-- > first_arg_index;) {
+      const Expr& a = *args[i];
+      if (!is_simple(a) && !is_simple_alu(a)) {
+        emit(Op::kPop, static_cast<std::uint8_t>(first_reg + (i - first_arg_index)));
+      }
+    }
+    // Pass 3: simple / simple-ALU arguments straight into argument registers.
+    for (std::size_t i = first_arg_index; i < args.size(); ++i) {
+      const Expr& a = *args[i];
+      const auto rd = static_cast<std::uint8_t>(first_reg + (i - first_arg_index));
+      if (is_simple(a)) {
+        load_simple(a, rd);
+      } else if (is_simple_alu(a)) {
+        load_simple(*a.lhs, kT0);
+        load_simple(*a.rhs, kT1);
+        emit(alu_op(a.bin_op), rd, kT0, kT1);
+      }
+    }
+  }
+
+  void gen_call(const Expr& e) {
+    if (e.name == "load" || e.name == "load8") {
+      gen_expr(*e.args[0]);
+      emit(e.name == "load" ? Op::kLd : Op::kLdB, kR0, kR0, 0, 0);
+      return;
+    }
+    if (e.name == "store" || e.name == "store8") {
+      const Op op = e.name == "store" ? Op::kSt : Op::kStB;
+      const Expr& addr = *e.args[0];
+      const Expr& val = *e.args[1];
+      if (is_simple(val)) {
+        gen_expr(addr);
+        load_simple(val, kT0);
+      } else {
+        gen_expr(addr);
+        emit(Op::kPush, 0, kR0);
+        gen_expr(val);
+        emit(Op::kMov, kT0, kR0);
+        emit(Op::kPop, kR0);
+      }
+      emit(op, 0, kR0, kT0, 0);
+      return;
+    }
+    if (e.name == "sys") {
+      place_args(e.args, 1, isa::kRegArg0);
+      emit(Op::kSys, 0, 0, 0, imm32(e.args[0]->value, e.line));
+      return;
+    }
+    place_args(e.args, 0, isa::kRegArg0);
+    emit_call(e.name, e.line);
+  }
+
+  // --- linking ---------------------------------------------------------------
+  isa::Image link() {
+    // Function start addresses.
+    std::map<std::string, std::uint64_t> fn_addr;
+    for (const auto& f : funcs_) {
+      fn_addr[f.name] = base_ + f.first_instr * isa::kInstrSize;
+    }
+    // Resolve fixups.
+    for (const auto& fx : fixups_) {
+      std::int64_t target_instr;
+      if (fx.label >= 0) {
+        target_instr = label_pos_[static_cast<std::size_t>(fx.label)];
+        if (target_instr < 0) throw CompileError(0, "internal: unbound label");
+      } else {
+        target_instr = static_cast<std::int64_t>(
+            (fn_addr.at(fx.callee) - base_) / isa::kInstrSize);
+      }
+      const std::int64_t addr =
+          static_cast<std::int64_t>(base_) + target_instr * static_cast<std::int64_t>(isa::kInstrSize);
+      code_[fx.instr_index].imm = imm32(addr, 0);
+    }
+    // Emit image + symbols.
+    isa::Image img(name_, base_);
+    for (const auto& in : code_) img.append(in);
+    for (const auto& f : funcs_) {
+      img.add_symbol(isa::Symbol{
+          f.name, base_ + f.first_instr * isa::kInstrSize,
+          (f.end_instr - f.first_instr) * isa::kInstrSize});
+    }
+    return img;
+  }
+
+  const Program& prog_;
+  std::string name_;
+  std::uint64_t base_;
+
+  std::vector<Instr> code_;
+  std::vector<std::int64_t> label_pos_;
+  std::vector<Pending> fixups_;
+  std::vector<FuncRecord> funcs_;
+  int ret_label_ = -1;
+  std::vector<int> break_labels_;
+  std::vector<int> continue_labels_;
+};
+
+}  // namespace
+
+isa::Image generate(const Program& prog, std::string image_name,
+                    std::uint64_t base) {
+  return CodeGen(prog, std::move(image_name), base).run();
+}
+
+}  // namespace gf::minic

@@ -1,0 +1,36 @@
+// MiniC code generator.
+//
+// The emitted idioms are a *stable contract* with the G-SWFIT mutation
+// scanner (src/swfit/operators.cpp). The scanner recognizes source-level
+// constructs from these exact shapes, just as the paper's operator library
+// recognizes the idioms of the compiler that produced the target binary:
+//
+//   var x = C;        MOVI r0, C            (first store to slot = init)
+//                     ST   [fp, -8k], r0
+//   x = a + b;        ...ALU writing r0
+//                     ST   [fp, -8k], r0
+//   if (cond) {...}   <test>; Jinv Lend; <body>; Lend:
+//   a && b            <test a>; Jinv Lfalse; <test b>; Jinv Lfalse
+//   f(v)              LD r1, [fp, -8k]   (simple args loaded directly
+//                     CALL f              into argument registers)
+//   f(a+b)            LD r7,...; LD r8,...; ADD r1, r7, r8; CALL f
+//
+// Calling convention: args in r1..r6, result in r0, all locals spilled to
+// the frame (nothing live in registers across calls), single exit block.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "minic/ast.h"
+
+namespace gf::minic {
+
+/// Generates code for all functions of an analyzed program into an image
+/// based at `base`. Each function becomes a symbol. Throws CompileError.
+isa::Image generate(const Program& prog, std::string image_name,
+                    std::uint64_t base);
+
+}  // namespace gf::minic

@@ -1,0 +1,27 @@
+#include "minic/compiler.h"
+
+#include "minic/codegen.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace gf::minic {
+
+isa::Image compile(const std::vector<std::string_view>& sources,
+                   std::string image_name, std::uint64_t base) {
+  std::string unit;
+  for (const auto& s : sources) {
+    unit.append(s);
+    unit.push_back('\n');
+  }
+  Program prog = parse(unit);
+  analyze(prog);
+  return generate(prog, std::move(image_name), base);
+}
+
+isa::Image compile(std::string_view source, std::string image_name,
+                   std::uint64_t base) {
+  return compile(std::vector<std::string_view>{source}, std::move(image_name),
+                 base);
+}
+
+}  // namespace gf::minic

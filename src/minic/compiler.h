@@ -1,0 +1,24 @@
+// MiniC compiler driver: source text -> linked VISA image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/image.h"
+#include "minic/ast.h"
+
+namespace gf::minic {
+
+/// Compiles one or more source fragments (concatenated into a single
+/// translation unit, so later fragments may call functions from earlier
+/// ones) into an image based at `base`. Throws CompileError on any error.
+isa::Image compile(const std::vector<std::string_view>& sources,
+                   std::string image_name, std::uint64_t base);
+
+/// Convenience: single source.
+isa::Image compile(std::string_view source, std::string image_name,
+                   std::uint64_t base);
+
+}  // namespace gf::minic

@@ -1,0 +1,172 @@
+#include "minic/lexer.h"
+
+#include <cctype>
+
+namespace gf::minic {
+
+namespace {
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+Tok keyword(const std::string& s) {
+  if (s == "fn") return Tok::kFn;
+  if (s == "var") return Tok::kVar;
+  if (s == "const") return Tok::kConst;
+  if (s == "if") return Tok::kIf;
+  if (s == "else") return Tok::kElse;
+  if (s == "while") return Tok::kWhile;
+  if (s == "return") return Tok::kReturn;
+  if (s == "break") return Tok::kBreak;
+  if (s == "continue") return Tok::kContinue;
+  return Tok::kIdent;
+}
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+
+  auto push = [&](Tok k) { out.push_back({k, {}, 0, line}); };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) throw CompileError(line, "unterminated block comment");
+      i += 2;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      std::string s(src.substr(i, j - i));
+      const Tok k = keyword(s);
+      Token t{k, k == Tok::kIdent ? s : std::string{}, 0, line};
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      std::int64_t v = 0;
+      if (c == '0' && i + 1 < n && (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        j = i + 2;
+        if (j >= n || !std::isxdigit(static_cast<unsigned char>(src[j]))) {
+          throw CompileError(line, "bad hex literal");
+        }
+        while (j < n && std::isxdigit(static_cast<unsigned char>(src[j]))) {
+          const char h = src[j];
+          const int d = std::isdigit(static_cast<unsigned char>(h))
+                            ? h - '0'
+                            : std::tolower(static_cast<unsigned char>(h)) - 'a' + 10;
+          v = v * 16 + d;
+          ++j;
+        }
+      } else {
+        while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) {
+          v = v * 10 + (src[j] - '0');
+          ++j;
+        }
+      }
+      out.push_back({Tok::kNumber, {}, v, line});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      if (i + 2 >= n) throw CompileError(line, "bad char literal");
+      char v = src[i + 1];
+      std::size_t close = i + 2;
+      if (v == '\\') {
+        if (i + 3 >= n) throw CompileError(line, "bad char literal");
+        const char e = src[i + 2];
+        switch (e) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case 'r': v = '\r'; break;
+          case '0': v = '\0'; break;
+          case '\\': v = '\\'; break;
+          case '\'': v = '\''; break;
+          default: throw CompileError(line, "bad escape in char literal");
+        }
+        close = i + 3;
+      }
+      if (close >= n || src[close] != '\'') {
+        throw CompileError(line, "unterminated char literal");
+      }
+      out.push_back({Tok::kNumber, {}, static_cast<unsigned char>(v), line});
+      i = close + 1;
+      continue;
+    }
+
+    auto two = [&](char a, char b, Tok k) -> bool {
+      if (c == a && i + 1 < n && src[i + 1] == b) {
+        push(k);
+        i += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two('<', '<', Tok::kShl)) continue;
+    if (two('>', '>', Tok::kShr)) continue;
+    if (two('=', '=', Tok::kEq)) continue;
+    if (two('!', '=', Tok::kNe)) continue;
+    if (two('<', '=', Tok::kLe)) continue;
+    if (two('>', '=', Tok::kGe)) continue;
+    if (two('&', '&', Tok::kAndAnd)) continue;
+    if (two('|', '|', Tok::kOrOr)) continue;
+
+    Tok k;
+    switch (c) {
+      case '(': k = Tok::kLParen; break;
+      case ')': k = Tok::kRParen; break;
+      case '{': k = Tok::kLBrace; break;
+      case '}': k = Tok::kRBrace; break;
+      case ',': k = Tok::kComma; break;
+      case ';': k = Tok::kSemi; break;
+      case '=': k = Tok::kAssign; break;
+      case '+': k = Tok::kPlus; break;
+      case '-': k = Tok::kMinus; break;
+      case '*': k = Tok::kStar; break;
+      case '/': k = Tok::kSlash; break;
+      case '%': k = Tok::kPercent; break;
+      case '&': k = Tok::kAmp; break;
+      case '|': k = Tok::kPipe; break;
+      case '^': k = Tok::kCaret; break;
+      case '~': k = Tok::kTilde; break;
+      case '!': k = Tok::kBang; break;
+      case '<': k = Tok::kLt; break;
+      case '>': k = Tok::kGt; break;
+      default:
+        throw CompileError(line, std::string("unexpected character '") + c + "'");
+    }
+    push(k);
+    ++i;
+  }
+  out.push_back({Tok::kEof, {}, 0, line});
+  return out;
+}
+
+}  // namespace gf::minic

@@ -1,0 +1,85 @@
+// MiniC lexer.
+//
+// MiniC is the small C-like systems language the simulated OS API is written
+// in. Having a real compiler matters: G-SWFIT's mutation operators are
+// defined against *compiler-generated* instruction idioms, and the accuracy
+// experiment (source-level bug vs binary mutation) needs both paths.
+//
+// Token grammar: identifiers, 64-bit integer literals (decimal / 0x hex /
+// 'c' char), punctuation/operators, `//` and `/* */` comments.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gf::minic {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent,
+  kNumber,
+  // keywords
+  kFn,
+  kVar,
+  kConst,
+  kIf,
+  kElse,
+  kWhile,
+  kReturn,
+  kBreak,
+  kContinue,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemi,
+  kAssign,   // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,      // &
+  kPipe,     // |
+  kCaret,    // ^
+  kTilde,    // ~
+  kBang,     // !
+  kShl,      // <<
+  kShr,      // >>
+  kEq,       // ==
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,   // &&
+  kOrOr,     // ||
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;        ///< identifier spelling
+  std::int64_t value = 0;  ///< number value
+  int line = 0;
+};
+
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(int line, const std::string& msg)
+      : std::runtime_error("minic:" + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Tokenizes the whole source; throws CompileError on bad input.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace gf::minic

@@ -1,0 +1,333 @@
+#include "minic/parser.h"
+
+#include <map>
+
+namespace gf::minic {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : toks_(lex(src)) {}
+
+  Program parse_program() {
+    Program prog;
+    while (peek().kind != Tok::kEof) {
+      if (peek().kind == Tok::kConst) {
+        parse_const(prog);
+      } else if (peek().kind == Tok::kFn) {
+        prog.functions.push_back(parse_fn());
+      } else {
+        throw CompileError(peek().line, "expected 'fn' or 'const' at top level");
+      }
+    }
+    return prog;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const { return toks_[pos_ + ahead]; }
+  Token take() { return toks_[pos_++]; }
+
+  Token expect(Tok k, const char* what) {
+    if (peek().kind != k) {
+      throw CompileError(peek().line, std::string("expected ") + what);
+    }
+    return take();
+  }
+
+  void parse_const(Program& prog) {
+    expect(Tok::kConst, "'const'");
+    const Token name = expect(Tok::kIdent, "constant name");
+    expect(Tok::kAssign, "'='");
+    ExprPtr e = parse_expr();
+    expect(Tok::kSemi, "';'");
+    const std::int64_t v = fold(*e);
+    if (consts_.count(name.text)) {
+      throw CompileError(name.line, "duplicate const: " + name.text);
+    }
+    consts_[name.text] = v;
+    prog.consts.emplace_back(name.text, v);
+  }
+
+  /// Constant folding for const initializers (numbers + earlier consts).
+  std::int64_t fold(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        return e.value;
+      case ExprKind::kVar: {
+        const auto it = consts_.find(e.name);
+        if (it == consts_.end()) {
+          throw CompileError(e.line, "const initializer references unknown name: " + e.name);
+        }
+        return it->second;
+      }
+      case ExprKind::kUnary: {
+        const std::int64_t a = fold(*e.lhs);
+        switch (e.un_op) {
+          case UnOp::kNeg: return -a;
+          case UnOp::kNot: return a == 0 ? 1 : 0;
+          case UnOp::kBitNot: return ~a;
+        }
+        return 0;
+      }
+      case ExprKind::kBinary: {
+        const std::int64_t a = fold(*e.lhs);
+        const std::int64_t b = fold(*e.rhs);
+        switch (e.bin_op) {
+          case BinOp::kAdd: return a + b;
+          case BinOp::kSub: return a - b;
+          case BinOp::kMul: return a * b;
+          case BinOp::kDiv:
+            if (b == 0) throw CompileError(e.line, "division by zero in const");
+            return a / b;
+          case BinOp::kMod:
+            if (b == 0) throw CompileError(e.line, "division by zero in const");
+            return a % b;
+          case BinOp::kAnd: return a & b;
+          case BinOp::kOr: return a | b;
+          case BinOp::kXor: return a ^ b;
+          case BinOp::kShl: return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) << (b & 63));
+          case BinOp::kShr: return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >> (b & 63));
+          case BinOp::kEq: return a == b;
+          case BinOp::kNe: return a != b;
+          case BinOp::kLt: return a < b;
+          case BinOp::kLe: return a <= b;
+          case BinOp::kGt: return a > b;
+          case BinOp::kGe: return a >= b;
+          case BinOp::kLogAnd: return (a != 0 && b != 0) ? 1 : 0;
+          case BinOp::kLogOr: return (a != 0 || b != 0) ? 1 : 0;
+        }
+        return 0;
+      }
+      case ExprKind::kCall:
+        throw CompileError(e.line, "call in const initializer");
+    }
+    return 0;
+  }
+
+  Function parse_fn() {
+    Function fn;
+    fn.line = peek().line;
+    expect(Tok::kFn, "'fn'");
+    fn.name = expect(Tok::kIdent, "function name").text;
+    expect(Tok::kLParen, "'('");
+    if (peek().kind != Tok::kRParen) {
+      for (;;) {
+        fn.params.push_back(expect(Tok::kIdent, "parameter name").text);
+        if (peek().kind != Tok::kComma) break;
+        take();
+      }
+    }
+    expect(Tok::kRParen, "')'");
+    fn.body = parse_block();
+    return fn;
+  }
+
+  std::vector<StmtPtr> parse_block() {
+    expect(Tok::kLBrace, "'{'");
+    std::vector<StmtPtr> stmts;
+    while (peek().kind != Tok::kRBrace) {
+      stmts.push_back(parse_stmt());
+    }
+    take();  // '}'
+    return stmts;
+  }
+
+  StmtPtr parse_stmt() {
+    const int line = peek().line;
+    auto mk = [&](StmtKind k) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = k;
+      s->line = line;
+      return s;
+    };
+    switch (peek().kind) {
+      case Tok::kVar: {
+        take();
+        auto s = mk(StmtKind::kVarDecl);
+        s->name = expect(Tok::kIdent, "variable name").text;
+        if (peek().kind == Tok::kAssign) {
+          take();
+          s->expr = parse_expr();
+        }
+        expect(Tok::kSemi, "';'");
+        return s;
+      }
+      case Tok::kIf: {
+        take();
+        auto s = mk(StmtKind::kIf);
+        expect(Tok::kLParen, "'('");
+        s->expr = parse_expr();
+        expect(Tok::kRParen, "')'");
+        s->body = parse_block();
+        if (peek().kind == Tok::kElse) {
+          take();
+          if (peek().kind == Tok::kIf) {
+            s->else_body.push_back(parse_stmt());
+          } else {
+            s->else_body = parse_block();
+          }
+        }
+        return s;
+      }
+      case Tok::kWhile: {
+        take();
+        auto s = mk(StmtKind::kWhile);
+        expect(Tok::kLParen, "'('");
+        s->expr = parse_expr();
+        expect(Tok::kRParen, "')'");
+        s->body = parse_block();
+        return s;
+      }
+      case Tok::kReturn: {
+        take();
+        auto s = mk(StmtKind::kReturn);
+        if (peek().kind != Tok::kSemi) s->expr = parse_expr();
+        expect(Tok::kSemi, "';'");
+        return s;
+      }
+      case Tok::kBreak: {
+        take();
+        expect(Tok::kSemi, "';'");
+        return mk(StmtKind::kBreak);
+      }
+      case Tok::kContinue: {
+        take();
+        expect(Tok::kSemi, "';'");
+        return mk(StmtKind::kContinue);
+      }
+      case Tok::kLBrace: {
+        auto s = mk(StmtKind::kBlock);
+        s->body = parse_block();
+        return s;
+      }
+      case Tok::kIdent: {
+        // Assignment (ident '=' ...) vs expression statement.
+        if (peek(1).kind == Tok::kAssign) {
+          auto s = mk(StmtKind::kAssign);
+          s->name = take().text;
+          take();  // '='
+          s->expr = parse_expr();
+          expect(Tok::kSemi, "';'");
+          return s;
+        }
+        auto s = mk(StmtKind::kExpr);
+        s->expr = parse_expr();
+        expect(Tok::kSemi, "';'");
+        return s;
+      }
+      default:
+        throw CompileError(line, "expected statement");
+    }
+  }
+
+  // Precedence climbing. Levels from lowest to highest.
+  ExprPtr parse_expr() { return parse_bin(0); }
+
+  struct OpInfo {
+    BinOp op;
+    int prec;
+  };
+
+  static const OpInfo* op_info(Tok k) {
+    static const std::map<Tok, OpInfo> kOps = {
+        {Tok::kOrOr, {BinOp::kLogOr, 1}},   {Tok::kAndAnd, {BinOp::kLogAnd, 2}},
+        {Tok::kPipe, {BinOp::kOr, 3}},      {Tok::kCaret, {BinOp::kXor, 4}},
+        {Tok::kAmp, {BinOp::kAnd, 5}},      {Tok::kEq, {BinOp::kEq, 6}},
+        {Tok::kNe, {BinOp::kNe, 6}},        {Tok::kLt, {BinOp::kLt, 7}},
+        {Tok::kLe, {BinOp::kLe, 7}},        {Tok::kGt, {BinOp::kGt, 7}},
+        {Tok::kGe, {BinOp::kGe, 7}},        {Tok::kShl, {BinOp::kShl, 8}},
+        {Tok::kShr, {BinOp::kShr, 8}},      {Tok::kPlus, {BinOp::kAdd, 9}},
+        {Tok::kMinus, {BinOp::kSub, 9}},    {Tok::kStar, {BinOp::kMul, 10}},
+        {Tok::kSlash, {BinOp::kDiv, 10}},   {Tok::kPercent, {BinOp::kMod, 10}},
+    };
+    const auto it = kOps.find(k);
+    return it == kOps.end() ? nullptr : &it->second;
+  }
+
+  ExprPtr parse_bin(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      const OpInfo* info = op_info(peek().kind);
+      if (info == nullptr || info->prec < min_prec) return lhs;
+      const int line = take().line;
+      ExprPtr rhs = parse_bin(info->prec + 1);
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBinary;
+      e->line = line;
+      e->bin_op = info->op;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    const int line = peek().line;
+    auto un = [&](UnOp op) {
+      take();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->line = line;
+      e->un_op = op;
+      e->lhs = parse_unary();
+      return e;
+    };
+    switch (peek().kind) {
+      case Tok::kMinus: return un(UnOp::kNeg);
+      case Tok::kBang: return un(UnOp::kNot);
+      case Tok::kTilde: return un(UnOp::kBitNot);
+      default: return parse_primary();
+    }
+  }
+
+  ExprPtr parse_primary() {
+    const Token t = take();
+    auto e = std::make_unique<Expr>();
+    e->line = t.line;
+    switch (t.kind) {
+      case Tok::kNumber:
+        e->kind = ExprKind::kNumber;
+        e->value = t.value;
+        return e;
+      case Tok::kLParen: {
+        ExprPtr inner = parse_expr();
+        expect(Tok::kRParen, "')'");
+        return inner;
+      }
+      case Tok::kIdent: {
+        if (peek().kind == Tok::kLParen) {
+          take();
+          e->kind = ExprKind::kCall;
+          e->name = t.text;
+          if (peek().kind != Tok::kRParen) {
+            for (;;) {
+              e->args.push_back(parse_expr());
+              if (peek().kind != Tok::kComma) break;
+              take();
+            }
+          }
+          expect(Tok::kRParen, "')'");
+          return e;
+        }
+        e->kind = ExprKind::kVar;
+        e->name = t.text;
+        return e;
+      }
+      default:
+        throw CompileError(t.line, "expected expression");
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::int64_t> consts_;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  return Parser(source).parse_program();
+}
+
+}  // namespace gf::minic

@@ -1,0 +1,15 @@
+// MiniC recursive-descent parser with C operator precedence.
+// Global `const` declarations are constant-folded at parse time.
+#pragma once
+
+#include <string_view>
+
+#include "minic/ast.h"
+#include "minic/lexer.h"
+
+namespace gf::minic {
+
+/// Parses a full translation unit. Throws CompileError.
+Program parse(std::string_view source);
+
+}  // namespace gf::minic

@@ -1,0 +1,173 @@
+#include "minic/sema.h"
+
+#include <map>
+
+#include "isa/isa.h"
+#include "minic/lexer.h"
+
+namespace gf::minic {
+
+bool is_intrinsic(const std::string& name) noexcept {
+  return name == "load" || name == "load8" || name == "store" ||
+         name == "store8" || name == "sys";
+}
+
+namespace {
+
+class Analyzer {
+ public:
+  explicit Analyzer(Program& prog) : prog_(prog) {
+    for (const auto& [name, value] : prog.consts) consts_[name] = value;
+    for (const auto& fn : prog.functions) {
+      if (fn_arity_.count(fn.name)) {
+        throw CompileError(fn.line, "duplicate function: " + fn.name);
+      }
+      if (is_intrinsic(fn.name)) {
+        throw CompileError(fn.line, "function shadows intrinsic: " + fn.name);
+      }
+      fn_arity_[fn.name] = static_cast<int>(fn.params.size());
+    }
+  }
+
+  void run() {
+    for (auto& fn : prog_.functions) analyze_fn(fn);
+  }
+
+ private:
+  void analyze_fn(Function& fn) {
+    slots_.clear();
+    loop_depth_ = 0;
+    if (fn.params.size() > isa::kNumArgRegs) {
+      throw CompileError(fn.line, "too many parameters in " + fn.name +
+                                      " (max " + std::to_string(isa::kNumArgRegs) + ")");
+    }
+    for (const auto& p : fn.params) {
+      if (slots_.count(p)) throw CompileError(fn.line, "duplicate parameter: " + p);
+      slots_[p] = static_cast<int>(slots_.size());
+    }
+    for (auto& s : fn.body) stmt(*s);
+    fn.num_slots = static_cast<int>(slots_.size());
+  }
+
+  void stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kVarDecl: {
+        if (s.expr) expr(*s.expr);  // initializer sees the old scope
+        if (slots_.count(s.name)) {
+          throw CompileError(s.line, "duplicate variable: " + s.name);
+        }
+        s.var_slot = static_cast<int>(slots_.size());
+        slots_[s.name] = s.var_slot;
+        break;
+      }
+      case StmtKind::kAssign: {
+        const auto it = slots_.find(s.name);
+        if (it == slots_.end()) {
+          throw CompileError(s.line, "assignment to undeclared variable: " + s.name);
+        }
+        s.var_slot = it->second;
+        expr(*s.expr);
+        break;
+      }
+      case StmtKind::kExpr:
+        expr(*s.expr);
+        break;
+      case StmtKind::kIf:
+        expr(*s.expr);
+        for (auto& b : s.body) stmt(*b);
+        for (auto& b : s.else_body) stmt(*b);
+        break;
+      case StmtKind::kWhile:
+        expr(*s.expr);
+        ++loop_depth_;
+        for (auto& b : s.body) stmt(*b);
+        --loop_depth_;
+        break;
+      case StmtKind::kReturn:
+        if (s.expr) expr(*s.expr);
+        break;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          throw CompileError(s.line, "break/continue outside of a loop");
+        }
+        break;
+      case StmtKind::kBlock:
+        for (auto& b : s.body) stmt(*b);
+        break;
+    }
+  }
+
+  void expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        break;
+      case ExprKind::kVar: {
+        const auto it = slots_.find(e.name);
+        if (it != slots_.end()) {
+          e.var_slot = it->second;
+          break;
+        }
+        const auto c = consts_.find(e.name);
+        if (c != consts_.end()) {
+          e.kind = ExprKind::kNumber;
+          e.value = c->second;
+          break;
+        }
+        throw CompileError(e.line, "undeclared identifier: " + e.name);
+      }
+      case ExprKind::kUnary:
+        expr(*e.lhs);
+        break;
+      case ExprKind::kBinary:
+        expr(*e.lhs);
+        expr(*e.rhs);
+        break;
+      case ExprKind::kCall: {
+        for (auto& a : e.args) expr(*a);
+        if (is_intrinsic(e.name)) {
+          check_intrinsic(e);
+          break;
+        }
+        const auto it = fn_arity_.find(e.name);
+        if (it == fn_arity_.end()) {
+          throw CompileError(e.line, "call to unknown function: " + e.name);
+        }
+        if (it->second != static_cast<int>(e.args.size())) {
+          throw CompileError(e.line, e.name + " expects " +
+                                         std::to_string(it->second) + " arguments, got " +
+                                         std::to_string(e.args.size()));
+        }
+        break;
+      }
+    }
+  }
+
+  void check_intrinsic(const Expr& e) {
+    const auto n = e.args.size();
+    if ((e.name == "load" || e.name == "load8") && n != 1) {
+      throw CompileError(e.line, e.name + " expects 1 argument");
+    }
+    if ((e.name == "store" || e.name == "store8") && n != 2) {
+      throw CompileError(e.line, e.name + " expects 2 arguments");
+    }
+    if (e.name == "sys") {
+      if (n < 1 || n > 6) throw CompileError(e.line, "sys expects 1..6 arguments");
+      if (e.args[0]->kind != ExprKind::kNumber) {
+        throw CompileError(e.line, "sys number must be a constant");
+      }
+    }
+  }
+
+  Program& prog_;
+  std::map<std::string, std::int64_t> consts_;
+  std::map<std::string, int> fn_arity_;
+  std::map<std::string, int> slots_;
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+void analyze(Program& prog) { Analyzer(prog).run(); }
+
+}  // namespace gf::minic

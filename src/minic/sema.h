@@ -1,0 +1,19 @@
+// MiniC semantic analysis: name resolution (locals, consts, functions,
+// intrinsics), arity checking, break/continue placement.
+#pragma once
+
+#include "minic/ast.h"
+
+namespace gf::minic {
+
+/// Intrinsic signatures recognized by sema and codegen.
+///   load(addr) load8(addr) -> value
+///   store(addr, v) store8(addr, v) -> 0
+///   sys(number, a0..a4) -> kernel intrinsic result
+bool is_intrinsic(const std::string& name) noexcept;
+
+/// Resolves names in place and fills var_slot / num_slots.
+/// Throws CompileError on any semantic error.
+void analyze(Program& prog);
+
+}  // namespace gf::minic

@@ -1,0 +1,66 @@
+#include "os/disk.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gf::os {
+
+std::optional<int> SimDisk::find(const std::string& path) const {
+  const auto it = index_.find(path);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+int SimDisk::create(const std::string& path) {
+  const auto it = index_.find(path);
+  if (it != index_.end()) {
+    files_[static_cast<std::size_t>(it->second)].clear();
+    return it->second;
+  }
+  const int id = static_cast<int>(files_.size());
+  files_.emplace_back();
+  names_.push_back(path);
+  index_[path] = id;
+  return id;
+}
+
+int SimDisk::add_file(const std::string& path, std::vector<std::uint8_t> content) {
+  const int id = create(path);
+  files_[static_cast<std::size_t>(id)] = std::move(content);
+  return id;
+}
+
+std::optional<std::int64_t> SimDisk::size(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= files_.size()) return std::nullopt;
+  return static_cast<std::int64_t>(files_[static_cast<std::size_t>(id)].size());
+}
+
+std::optional<std::int64_t> SimDisk::read(int id, std::int64_t offset,
+                                          std::uint8_t* dst, std::int64_t len) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= files_.size()) return std::nullopt;
+  if (offset < 0 || len < 0) return std::nullopt;
+  const auto& f = files_[static_cast<std::size_t>(id)];
+  if (static_cast<std::size_t>(offset) >= f.size()) return 0;
+  const auto n = std::min<std::int64_t>(len, static_cast<std::int64_t>(f.size()) - offset);
+  std::memcpy(dst, f.data() + offset, static_cast<std::size_t>(n));
+  return n;
+}
+
+std::optional<std::int64_t> SimDisk::write(int id, std::int64_t offset,
+                                           const std::uint8_t* src, std::int64_t len) {
+  if (id < 0 || static_cast<std::size_t>(id) >= files_.size()) return std::nullopt;
+  if (offset < 0 || len < 0) return std::nullopt;
+  auto& f = files_[static_cast<std::size_t>(id)];
+  const auto end = static_cast<std::size_t>(offset + len);
+  if (end > f.size()) f.resize(end, 0);
+  std::memcpy(f.data() + offset, src, static_cast<std::size_t>(len));
+  return len;
+}
+
+const std::vector<std::uint8_t>* SimDisk::content(const std::string& path) const {
+  const auto id = find(path);
+  if (!id) return nullptr;
+  return &files_[static_cast<std::size_t>(*id)];
+}
+
+}  // namespace gf::os

@@ -1,0 +1,49 @@
+// SimDisk — the in-memory block device behind the VOS filesystem calls.
+//
+// All *policy* (handle validation, positions, buffer copies) lives in the
+// MiniC OS code where it can be fault-injected; SimDisk is the raw device
+// the kernel intrinsics expose. It deliberately has no notion of handles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gf::os {
+
+class SimDisk {
+ public:
+  /// Returns the file id, or nullopt if the path does not exist.
+  std::optional<int> find(const std::string& path) const;
+
+  /// Creates (or truncates) a file; returns its id.
+  int create(const std::string& path);
+
+  /// Adds a file with content (population helper for workload filesets).
+  int add_file(const std::string& path, std::vector<std::uint8_t> content);
+
+  std::optional<std::int64_t> size(int id) const;
+
+  /// Reads up to `len` bytes at `offset`; returns bytes read (0 at EOF) or
+  /// nullopt for a bad id/offset.
+  std::optional<std::int64_t> read(int id, std::int64_t offset,
+                                   std::uint8_t* dst, std::int64_t len) const;
+
+  /// Writes, extending the file as needed; returns bytes written.
+  std::optional<std::int64_t> write(int id, std::int64_t offset,
+                                    const std::uint8_t* src, std::int64_t len);
+
+  std::size_t file_count() const noexcept { return files_.size(); }
+
+  /// Content access for test assertions.
+  const std::vector<std::uint8_t>* content(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<std::uint8_t>> files_;
+  std::map<std::string, int> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace gf::os

@@ -1,0 +1,70 @@
+#include "os/filesystem.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace gf::os {
+
+std::string normalize_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  auto flush = [&] {
+    if (cur.empty() || cur == ".") {
+      cur.clear();
+      return;
+    }
+    if (cur == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else {
+      parts.push_back(cur);
+    }
+    cur.clear();
+  };
+  for (char c : path) {
+    if (c == '\\') c = '/';
+    if (c == '/') {
+      flush();
+    } else {
+      cur += c;
+    }
+  }
+  flush();
+  std::string out = "/";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += '/';
+    out += parts[i];
+  }
+  if (parts.empty()) return "/";
+  return out;
+}
+
+std::string join_path(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const bool a_sep = a.back() == '/';
+  const bool b_sep = b.front() == '/';
+  if (a_sep && b_sep) return a + b.substr(1);
+  if (!a_sep && !b_sep) return a + "/" + b;
+  return a + b;
+}
+
+std::string path_extension(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos) return {};
+  if (slash != std::string::npos && dot < slash) return {};
+  std::string ext = path.substr(dot + 1);
+  std::transform(ext.begin(), ext.end(), ext.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return ext;
+}
+
+bool is_valid_request_path(const std::string& path) {
+  if (path.empty() || path.front() != '/') return false;
+  return std::none_of(path.begin(), path.end(), [](unsigned char c) {
+    return c < 0x20 || c == 0x7f;
+  });
+}
+
+}  // namespace gf::os

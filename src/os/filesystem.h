@@ -1,0 +1,25 @@
+// Host-side path utilities shared by the workload file-set builder and the
+// web servers (URL -> disk path mapping). Guest-side path handling (NT path
+// conversion, canonicalization) lives in the MiniC OS code.
+#pragma once
+
+#include <string>
+
+namespace gf::os {
+
+/// Lexically normalizes a path: backslashes -> slashes, collapses duplicate
+/// separators, resolves "." segments, rejects ".." escapes by clamping at
+/// the root. Result has no trailing slash (except the root "/").
+std::string normalize_path(const std::string& path);
+
+/// Joins two path fragments with exactly one separator.
+std::string join_path(const std::string& a, const std::string& b);
+
+/// Lowercased extension without the dot ("" when none).
+std::string path_extension(const std::string& path);
+
+/// True if the path is a plausible request target: begins with '/' and has
+/// no NUL or control characters.
+bool is_valid_request_path(const std::string& path);
+
+}  // namespace gf::os

@@ -1,0 +1,136 @@
+#include "os/kernel.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "minic/compiler.h"
+
+namespace gf::os {
+
+namespace lay = layout;
+
+Kernel::Kernel(OsVersion version)
+    : version_(version),
+      pristine_(minic::compile(
+          {common_source(), ntdll_source(version), kernel32_source(version)},
+          std::string("vos-") + os_version_name(version), lay::kCodeBase)),
+      active_(pristine_),
+      machine_(std::make_unique<vm::Machine>(lay::kMemSize)) {
+  machine_->load_image(active_);
+  machine_->set_stack_region(lay::kStackLo, lay::kStackHi);
+  machine_->set_syscall_handler(
+      [this](vm::Machine& m, std::int32_t num) { return handle_syscall(m, num); });
+  reboot();
+}
+
+void Kernel::sync_code() { machine_->reload_code(active_); }
+
+std::uint64_t Kernel::api_addr(const std::string& name) const {
+  const auto* sym = active_.find_symbol(name);
+  if (sym == nullptr) throw std::out_of_range("no such API function: " + name);
+  return sym->addr;
+}
+
+void Kernel::reboot() {
+  // Zero the kernel data region (heap control, handle table, page table).
+  const std::vector<std::uint8_t> zeros(
+      static_cast<std::size_t>(lay::kScratch - lay::kHeapCtl), 0);
+  machine_->write_bytes(lay::kHeapCtl, zeros.data(), zeros.size());
+
+  // Guest-side boot code builds the initial heap and page table.
+  const auto* heap_init = pristine_.find_symbol("heap_init");
+  const auto* vm_init = pristine_.find_symbol("vm_init");
+  if (heap_init == nullptr || vm_init == nullptr) {
+    throw std::runtime_error("OS image is missing boot symbols");
+  }
+  // Boot runs against pristine code even when faults are injected: a real
+  // reboot reloads the (possibly still faulty) module, but the *boot path*
+  // (heap_init/vm_init) is not part of the API fault-injection surface, so
+  // running it from the active image is equally fine — keep active to stay
+  // faithful to "the fault persists until removed".
+  const auto r1 = machine_->call(heap_init->addr, {}, 1u << 20);
+  const auto r2 = machine_->call(vm_init->addr, {}, 1u << 20);
+  if (!r1.ok() || !r2.ok()) {
+    throw std::runtime_error("VOS boot failed");
+  }
+}
+
+vm::Trap Kernel::handle_syscall(vm::Machine& m, std::int32_t num) {
+  auto arg = [&m](int i) { return m.reg(isa::kRegArg0 + i); };
+  switch (num) {
+    case lay::kSysDiskFind: {
+      std::string path;
+      if (!m.read_cstr(static_cast<std::uint64_t>(arg(0)), path)) {
+        return vm::Trap::kBadMemory;
+      }
+      const auto id = disk_.find(path);
+      m.set_reg(0, id ? *id : -1);
+      return vm::Trap::kNone;
+    }
+    case lay::kSysDiskCreate: {
+      std::string path;
+      if (!m.read_cstr(static_cast<std::uint64_t>(arg(0)), path)) {
+        return vm::Trap::kBadMemory;
+      }
+      m.set_reg(0, disk_.create(path));
+      return vm::Trap::kNone;
+    }
+    case lay::kSysDiskSize: {
+      const auto sz = disk_.size(static_cast<int>(arg(0)));
+      m.set_reg(0, sz ? *sz : -1);
+      return vm::Trap::kNone;
+    }
+    case lay::kSysDiskRead: {
+      const auto id = static_cast<int>(arg(0));
+      const auto off = arg(1);
+      const auto dst = static_cast<std::uint64_t>(arg(2));
+      const auto len = arg(3);
+      if (len < 0 || len > static_cast<std::int64_t>(lay::kMemSize)) {
+        m.set_reg(0, -1);
+        return vm::Trap::kNone;
+      }
+      std::vector<std::uint8_t> buf(static_cast<std::size_t>(len));
+      const auto n = disk_.read(id, off, buf.data(), len);
+      if (!n) {
+        m.set_reg(0, -1);
+        return vm::Trap::kNone;
+      }
+      // Copying into guest memory can fault if the guest passed a bad
+      // buffer (e.g. a mutated pointer) — surface that as a memory trap.
+      if (!m.write_bytes(dst, buf.data(), static_cast<std::size_t>(*n))) {
+        return vm::Trap::kBadMemory;
+      }
+      m.set_reg(0, *n);
+      return vm::Trap::kNone;
+    }
+    case lay::kSysDiskWrite: {
+      const auto id = static_cast<int>(arg(0));
+      const auto off = arg(1);
+      const auto src = static_cast<std::uint64_t>(arg(2));
+      const auto len = arg(3);
+      if (len < 0 || len > static_cast<std::int64_t>(lay::kMemSize)) {
+        m.set_reg(0, -1);
+        return vm::Trap::kNone;
+      }
+      std::vector<std::uint8_t> buf(static_cast<std::size_t>(len));
+      if (!m.read_bytes(src, buf.data(), buf.size())) {
+        return vm::Trap::kBadMemory;
+      }
+      const auto n = disk_.write(id, off, buf.data(), len);
+      m.set_reg(0, n ? *n : -1);
+      return vm::Trap::kNone;
+    }
+    case lay::kSysTick:
+      m.set_reg(0, static_cast<std::int64_t>(++tick_));
+      return vm::Trap::kNone;
+    case lay::kSysDebug:
+      m.set_reg(0, 0);
+      return vm::Trap::kNone;
+    default:
+      // Unknown intrinsic — this can only happen through a mutated SYS
+      // immediate; treat it as an illegal instruction.
+      return vm::Trap::kBadOpcode;
+  }
+}
+
+}  // namespace gf::os

@@ -1,0 +1,64 @@
+// VOS kernel: owns the VM, the disk, and the compiled OS image.
+//
+// The kernel compiles the MiniC sources of the selected OS version into a
+// single image (vntdll+vkernel32), loads it into the VM, installs the
+// kernel-intrinsic (SYS) handler, and boots the guest-side data structures
+// by calling the MiniC heap_init/vm_init routines.
+//
+// The *active* image is the mutable copy the fault injector patches;
+// sync_code() pushes its bytes into VM memory. The pristine image is kept
+// for scanner input and byte-exact restore checks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "isa/image.h"
+#include "os/disk.h"
+#include "os/layout.h"
+#include "os/sources.h"
+#include "vm/machine.h"
+
+namespace gf::os {
+
+class Kernel {
+ public:
+  explicit Kernel(OsVersion version);
+
+  OsVersion version() const noexcept { return version_; }
+  vm::Machine& machine() noexcept { return *machine_; }
+  SimDisk& disk() noexcept { return disk_; }
+  const SimDisk& disk() const noexcept { return disk_; }
+
+  /// Pristine compiled image (scanner input; never mutated).
+  const isa::Image& pristine_image() const noexcept { return pristine_; }
+  /// Active image (the injector patches this, then calls sync_code()).
+  isa::Image& active_image() noexcept { return active_; }
+  const isa::Image& active_image() const noexcept { return active_; }
+  /// Copies the active image's bytes into VM memory.
+  void sync_code();
+
+  /// Address of a public API function (throws std::out_of_range if absent).
+  std::uint64_t api_addr(const std::string& name) const;
+
+  /// Re-initializes guest OS state (heap free list, handle table, page
+  /// table) without touching the disk — the equivalent of an OS reboot
+  /// between benchmark slots.
+  void reboot();
+
+  /// Monotonic tick counter (SYS_TICK).
+  std::uint64_t ticks() const noexcept { return tick_; }
+
+ private:
+  vm::Trap handle_syscall(vm::Machine& m, std::int32_t num);
+
+  OsVersion version_;
+  SimDisk disk_;
+  isa::Image pristine_;
+  isa::Image active_;
+  std::unique_ptr<vm::Machine> machine_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace gf::os

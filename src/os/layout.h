@@ -1,0 +1,75 @@
+// VOS memory layout. These constants are shared between the C++ kernel and
+// the MiniC sources of the OS API (where they are re-declared as `const`
+// definitions; os/sources_common.cpp keeps them in sync and a unit test
+// asserts the equality).
+#pragma once
+
+#include <cstdint>
+
+namespace gf::os::layout {
+
+// 8 MiB of physical memory, first page unmapped (null-deref detection).
+inline constexpr std::uint64_t kMemSize = 8u << 20;
+
+/// Code segment: the compiled vntdll+vkernel32 image.
+inline constexpr std::uint64_t kCodeBase = 0x00010000;
+
+/// Kernel data region ------------------------------------------------------
+/// Heap control block: [0] head of the free list, [8] total allocs,
+/// [16] total frees, [24] bytes in use.
+inline constexpr std::uint64_t kHeapCtl = 0x00100000;
+
+/// Handle table: kMaxHandles entries of 32 bytes:
+/// [0] type (0 = free, 1 = file), [8] file id, [16] position, [24] flags.
+inline constexpr std::uint64_t kHandleTable = 0x00110000;
+inline constexpr std::int64_t kMaxHandles = 256;
+
+/// Page-protection table for the virtual-memory calls: kNumPages entries of
+/// 8 bytes holding the protection constant for each 64 KiB page of the heap
+/// arena.
+inline constexpr std::uint64_t kPageTable = 0x00120000;
+inline constexpr std::int64_t kPageSize = 0x10000;
+inline constexpr std::int64_t kNumPages = 64;
+
+/// Scratch area used by the C++ OsApi facade to marshal strings/structs in
+/// and out of API calls. Not owned by the guest code.
+inline constexpr std::uint64_t kScratch = 0x00130000;
+inline constexpr std::uint64_t kScratchSize = 0x00010000;
+
+/// Heap arena managed by RtlAllocateHeap/RtlFreeHeap (MiniC code).
+inline constexpr std::uint64_t kHeapArena = 0x00200000;
+inline constexpr std::uint64_t kHeapArenaEnd = 0x00600000;
+
+/// VM stack (grows down from the top).
+inline constexpr std::uint64_t kStackLo = 0x007F0000;
+inline constexpr std::uint64_t kStackHi = 0x00800000;
+
+/// Heap block header: [0] size (payload bytes), [8] state word —
+/// kAllocMagic when allocated, next-free pointer when free.
+inline constexpr std::int64_t kBlockHeader = 16;
+inline constexpr std::int64_t kAllocMagic = 0xA110C;
+
+/// Kernel intrinsic (SYS) numbers.
+inline constexpr std::int32_t kSysDiskFind = 1;      ///< (path) -> file id | -1
+inline constexpr std::int32_t kSysDiskCreate = 2;    ///< (path) -> file id | -1
+inline constexpr std::int32_t kSysDiskSize = 3;      ///< (id) -> size | -1
+inline constexpr std::int32_t kSysDiskRead = 4;      ///< (id, off, dst, len) -> n | -1
+inline constexpr std::int32_t kSysDiskWrite = 5;     ///< (id, off, src, len) -> n | -1
+inline constexpr std::int32_t kSysTick = 6;          ///< () -> monotonic counter
+inline constexpr std::int32_t kSysDebug = 7;         ///< (value) -> 0
+
+/// Protection constants (NtProtectVirtualMemory).
+inline constexpr std::int64_t kProtRead = 1;
+inline constexpr std::int64_t kProtWrite = 2;
+inline constexpr std::int64_t kProtExec = 4;
+
+/// Common VOS status codes (mirrors NTSTATUS flavor: 0 success, negative
+/// failure).
+inline constexpr std::int64_t kStatusOk = 0;
+inline constexpr std::int64_t kStatusInvalidHandle = -1;
+inline constexpr std::int64_t kStatusInvalidParam = -2;
+inline constexpr std::int64_t kStatusNotFound = -3;
+inline constexpr std::int64_t kStatusNoMemory = -4;
+inline constexpr std::int64_t kStatusIoError = -5;
+
+}  // namespace gf::os::layout

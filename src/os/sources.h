@@ -1,0 +1,38 @@
+// MiniC source code of the VOS API — the Fault Injection Target.
+//
+// The 21 functions mirror Table 2 of the paper exactly (16 in vntdll, 5 in
+// vkernel32). Two source trees exist: VOS-2000 and VOS-XP. The XP tree adds
+// parameter validation, telemetry, heap coalescing and path canonicalization
+// — more compiled code, therefore more fault locations (the paper's Table 3
+// shows the XP faultload is ~1.7x the 2000 one) — while keeping identical
+// fault-free semantics on the common surface (asserted by tests).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace gf::os {
+
+enum class OsVersion { kVos2000, kVosXp };
+
+inline const char* os_version_name(OsVersion v) {
+  return v == OsVersion::kVos2000 ? "VOS-2000" : "VOS-XP";
+}
+
+/// Shared consts + internal helpers (heap_init, vm_init, tally).
+std::string_view common_source();
+
+/// The 16 vntdll API functions for the given OS version.
+std::string_view ntdll_source(OsVersion v);
+
+/// The 5 vkernel32 API functions for the given OS version.
+std::string_view kernel32_source(OsVersion v);
+
+/// Public API surface: function name + owning module (for Table 2).
+struct ApiFunctionInfo {
+  const char* name;
+  const char* module;
+};
+std::span<const ApiFunctionInfo> api_functions();
+
+}  // namespace gf::os

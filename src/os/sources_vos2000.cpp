@@ -1,0 +1,766 @@
+#include "os/sources.h"
+
+namespace gf::os {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// vntdll, VOS-2000: lean implementations — correct, but with the minimum of
+// parameter validation. (The XP tree hardens each function; see
+// sources_vosxp.cpp.)
+// ---------------------------------------------------------------------------
+constexpr const char* kNtdll2000 = R"(
+// --- heap -------------------------------------------------------------
+
+fn RtlAllocateHeap(size) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 100);
+    store(tslot + 8, size);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 100);
+    }
+  }
+  if (size <= 0) { return 0; }
+  var need = ((size + 15) / 16) * 16;
+  if (size > 0x40000) {
+    // Large-allocation path: page-granular rounding and separate
+    // accounting (cold for ordinary request traffic).
+    need = ((size + 4095) / 4096) * 4096;
+    var big = load(HEAP_CTL + 48) + 1;
+    store(HEAP_CTL + 48, big);
+    store(HEAP_CTL + 56, size);
+    if (need > HEAP_END - HEAP_ARENA - BLOCK_HDR) {
+      store(HEAP_CTL + 56, 0 - 1);
+      return 0;
+    }
+  }
+  var prev = 0;
+  var cur = load(HEAP_CTL);
+  while (cur != 0) {
+    var bsize = load(cur);
+    if (bsize >= need) {
+      var next = load(cur + 8);
+      var rest = bsize - need;
+      if (rest >= 32) {
+        var tail = cur + BLOCK_HDR + need;
+        store(tail, rest - BLOCK_HDR);
+        store(tail + 8, next);
+        store(cur, need);
+        next = tail;
+      }
+      if (prev == 0) {
+        store(HEAP_CTL, next);
+      } else {
+        store(prev + 8, next);
+      }
+      store(cur + 8, ALLOC_MAGIC);
+      store(HEAP_CTL + 8, load(HEAP_CTL + 8) + 1);
+      store(HEAP_CTL + 24, load(HEAP_CTL + 24) + load(cur));
+      return cur + BLOCK_HDR;
+    }
+    prev = cur;
+    cur = load(cur + 8);
+  }
+  return 0;
+}
+
+fn RtlFreeHeap(ptr) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 101);
+    store(tslot + 8, ptr);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 101);
+    }
+  }
+  if (ptr == 0) { return STATUS_INVALID_PARAM; }
+  var blk = ptr - BLOCK_HDR;
+  if (blk < HEAP_ARENA || blk >= HEAP_END) { return STATUS_INVALID_PARAM; }
+  if (load(blk + 8) != ALLOC_MAGIC) { return STATUS_INVALID_PARAM; }
+  if (load(HEAP_CTL + 208) != 0) {
+    // Deferred-free mode (set by debugging tools, never during normal
+    // operation): park the block on the quarantine list.
+    var qhead = load(HEAP_CTL + 216);
+    store(blk + 8, qhead);
+    store(HEAP_CTL + 216, blk);
+    store(HEAP_CTL + 224, load(HEAP_CTL + 224) + 1);
+    return STATUS_OK;
+  }
+  store(HEAP_CTL + 24, load(HEAP_CTL + 24) - load(blk));
+  // Address-ordered free list with coalescing of adjacent blocks.
+  var prev = 0;
+  var cur = load(HEAP_CTL);
+  while (cur != 0 && cur < blk) {
+    prev = cur;
+    cur = load(cur + 8);
+  }
+  store(blk + 8, cur);
+  if (prev == 0) {
+    store(HEAP_CTL, blk);
+  } else {
+    store(prev + 8, blk);
+  }
+  var bsize = load(blk);
+  if (cur != 0 && blk + BLOCK_HDR + bsize == cur) {
+    store(blk, bsize + BLOCK_HDR + load(cur));
+    store(blk + 8, load(cur + 8));
+  }
+  if (prev != 0) {
+    var psize = load(prev);
+    if (prev + BLOCK_HDR + psize == blk) {
+      store(prev, psize + BLOCK_HDR + load(blk));
+      store(prev + 8, load(blk + 8));
+    }
+  }
+  store(HEAP_CTL + 16, load(HEAP_CTL + 16) + 1);
+  return STATUS_OK;
+}
+
+// --- handles / files ----------------------------------------------------
+
+fn NtCreateFile(path) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 102);
+    store(tslot + 8, path);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 102);
+    }
+  }
+  if (path == 0) { return STATUS_INVALID_PARAM; }
+  var plen = 0;
+  while (load8(path + plen) != 0 && plen <= 260) {
+    plen = plen + 1;
+  }
+  if (plen > 260) {
+    // Long-path support: verify the extended-length prefix and charge the
+    // quota ledger (cold: workload paths are short).
+    if (load8(path) != '\\' || load8(path + 1) != '\\') {
+      return STATUS_INVALID_PARAM;
+    }
+    var quota = load(HEAP_CTL + 240) + plen;
+    if (quota > 1 << 20) { return STATUS_NO_MEMORY; }
+    store(HEAP_CTL + 240, quota);
+  }
+  var id = sys(SYS_DISK_CREATE, path);
+  if (id < 0) { return STATUS_IO_ERROR; }
+  var i = 0;
+  while (i < MAX_HANDLES) {
+    var e = HANDLE_TABLE + i * 32;
+    if (load(e) == 0) {
+      store(e, 1);
+      store(e + 8, id);
+      store(e + 16, 0);
+      store(e + 24, 0);
+      return i + 1;
+    }
+    i = i + 1;
+  }
+  return STATUS_NO_MEMORY;
+}
+
+fn NtOpenFile(path) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 103);
+    store(tslot + 8, path);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 103);
+    }
+  }
+  if (path == 0) { return STATUS_INVALID_PARAM; }
+  var c0 = load8(path);
+  if (c0 == '\\') {
+    // Device-namespace path ("\\Device\..."): resolve through the
+    // object directory (cold: request URLs always use forward slashes).
+    var dev = 0;
+    var k = 0;
+    while (k < 16 && load8(path + k) != 0) {
+      dev = dev * 31 + load8(path + k);
+      k = k + 1;
+    }
+    store(HEAP_CTL + 232, dev);
+    if (dev == 0) { return STATUS_NOT_FOUND; }
+  }
+  var id = sys(SYS_DISK_FIND, path);
+  if (id < 0) { return STATUS_NOT_FOUND; }
+  var i = 0;
+  while (i < MAX_HANDLES) {
+    var e = HANDLE_TABLE + i * 32;
+    if (load(e) == 0) {
+      store(e, 1);
+      store(e + 8, id);
+      store(e + 16, 0);
+      store(e + 24, 0);
+      return i + 1;
+    }
+    i = i + 1;
+  }
+  return STATUS_NO_MEMORY;
+}
+
+fn NtClose(h) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 104);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 104);
+    }
+  }
+  if (h <= 0 || h > MAX_HANDLES) { return STATUS_INVALID_HANDLE; }
+  var e = HANDLE_TABLE + (h - 1) * 32;
+  if (load(e) == 0) { return STATUS_INVALID_HANDLE; }
+  store(e, 0);
+  store(e + 8, 0);
+  store(e + 16, 0);
+  store(e + 24, 0);
+  return STATUS_OK;
+}
+
+fn NtReadFile(h, buf, len) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 105);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 105);
+    }
+  }
+  if (h <= 0 || h > MAX_HANDLES) { return STATUS_INVALID_HANDLE; }
+  if (buf == 0 || len < 0) { return STATUS_INVALID_PARAM; }
+  var e = HANDLE_TABLE + (h - 1) * 32;
+  if (load(e) != 1) { return STATUS_INVALID_HANDLE; }
+  var id = load(e + 8);
+  var pos = load(e + 16);
+  // Segmented transfer: the device moves at most 4 KiB per operation.
+  var done = 0;
+  while (done < len) {
+    var chunk = len - done;
+    if (chunk > 4096) { chunk = 4096; }
+    var n = sys(SYS_DISK_READ, id, pos + done, buf + done, chunk);
+    if (n < 0) { return STATUS_IO_ERROR; }
+    if (n == 0) { break; }
+    done = done + n;
+    if (n < chunk) { break; }   // short read: end of file
+  }
+  store(e + 16, pos + done);
+  note_io(1);
+  return done;
+}
+
+fn NtWriteFile(h, buf, len) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 106);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 106);
+    }
+  }
+  if (h <= 0 || h > MAX_HANDLES) { return STATUS_INVALID_HANDLE; }
+  if (buf == 0 || len < 0) { return STATUS_INVALID_PARAM; }
+  var e = HANDLE_TABLE + (h - 1) * 32;
+  if (load(e) != 1) { return STATUS_INVALID_HANDLE; }
+  var id = load(e + 8);
+  var pos = load(e + 16);
+  var done = 0;
+  while (done < len) {
+    var chunk = len - done;
+    if (chunk > 4096) { chunk = 4096; }
+    var n = sys(SYS_DISK_WRITE, id, pos + done, buf + done, chunk);
+    if (n < 0) { return STATUS_IO_ERROR; }
+    if (n == 0) { break; }
+    done = done + n;
+  }
+  store(e + 16, pos + done);
+  note_io(2);
+  return done;
+}
+
+// --- virtual memory ------------------------------------------------------
+
+fn NtProtectVirtualMemory(addr, size, prot) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 107);
+    store(tslot + 8, addr);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 107);
+    }
+  }
+  if (addr < HEAP_ARENA || addr >= HEAP_END) { return STATUS_INVALID_PARAM; }
+  if (size <= 0) { return STATUS_INVALID_PARAM; }
+  var first = (addr - HEAP_ARENA) / PAGE_SIZE;
+  var last = (addr + size - 1 - HEAP_ARENA) / PAGE_SIZE;
+  if (last >= NUM_PAGES) { return STATUS_INVALID_PARAM; }
+  var old = load(PAGE_TABLE + first * 8);
+  var i = first;
+  while (i <= last) {
+    store(PAGE_TABLE + i * 8, prot);
+    i = i + 1;
+  }
+  return old;
+}
+
+fn NtQueryVirtualMemory(addr, info) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 108);
+    store(tslot + 8, addr);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 108);
+    }
+  }
+  if (info == 0) { return STATUS_INVALID_PARAM; }
+  if (addr < HEAP_ARENA || addr >= HEAP_END) { return STATUS_INVALID_PARAM; }
+  var page = (addr - HEAP_ARENA) / PAGE_SIZE;
+  store(info, HEAP_ARENA + page * PAGE_SIZE);
+  store(info + 8, PAGE_SIZE);
+  store(info + 16, load(PAGE_TABLE + page * 8));
+  return STATUS_OK;
+}
+
+// --- critical sections ----------------------------------------------------
+// CS object layout: [0] lock count, [8] owner, [16] recursion, [24] waiters.
+
+fn RtlEnterCriticalSection(cs) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 109);
+    store(tslot + 8, cs);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 109);
+    }
+  }
+  if (cs == 0) { return STATUS_INVALID_PARAM; }
+  var owner = load(cs + 8);
+  if (owner != 0 && owner != 1) {
+    // Contended acquire (cold: the benchmark SUB is single-threaded):
+    // spin with backoff, then record the wait.
+    var spins = 0;
+    while (load(cs + 8) != 0 && spins < 64) {
+      spins = spins + 1;
+    }
+    store(cs + 24, load(cs + 24) + 1);
+    if (load(cs + 8) != 0) { return STATUS_INVALID_HANDLE; }
+    owner = 0;
+  }
+  if (owner == 1) {
+    store(cs + 16, load(cs + 16) + 1);
+  } else {
+    store(cs + 8, 1);
+    store(cs + 16, 1);
+  }
+  store(cs, load(cs) + 1);
+  return STATUS_OK;
+}
+
+fn RtlLeaveCriticalSection(cs) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 110);
+    store(tslot + 8, cs);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 110);
+    }
+  }
+  if (cs == 0) { return STATUS_INVALID_PARAM; }
+  if (load(cs + 8) != 1) { return STATUS_INVALID_HANDLE; }
+  var rec = load(cs + 16) - 1;
+  store(cs + 16, rec);
+  if (rec == 0) {
+    store(cs + 8, 0);
+  }
+  store(cs, load(cs) - 1);
+  return STATUS_OK;
+}
+
+// --- strings ----------------------------------------------------------------
+// ANSI/UNICODE string struct layout: [0] length (bytes), [8] max length,
+// [16] buffer. "Unicode" characters are 2 bytes, little endian.
+
+fn RtlInitAnsiString(dst, src) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 111);
+    store(tslot + 8, dst);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 111);
+    }
+  }
+  if (dst == 0) { return STATUS_INVALID_PARAM; }
+  if (src == 0) {
+    store(dst, 0);
+    store(dst + 8, 0);
+    store(dst + 16, 0);
+    return STATUS_OK;
+  }
+  var n = 0;
+  while (load8(src + n) != 0) {
+    n = n + 1;
+  }
+  store(dst, n);
+  store(dst + 8, n + 1);
+  store(dst + 16, src);
+  return STATUS_OK;
+}
+
+fn RtlInitUnicodeString(dst, src) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 112);
+    store(tslot + 8, dst);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 112);
+    }
+  }
+  if (dst == 0) { return STATUS_INVALID_PARAM; }
+  if (src == 0) {
+    store(dst, 0);
+    store(dst + 8, 0);
+    store(dst + 16, 0);
+    return STATUS_OK;
+  }
+  var n = 0;
+  while (load8(src + n * 2) != 0 || load8(src + n * 2 + 1) != 0) {
+    n = n + 1;
+  }
+  if (n > 16382) {
+    // UNICODE_STRING lengths are 16-bit: clamp and flag the truncation
+    // (cold: request paths are far shorter).
+    n = 16382;
+    var probe = load8(src + n * 2);
+    if (probe != 0) {
+      store(HEAP_CTL + 288, load(HEAP_CTL + 288) + 1);
+    }
+  }
+  store(dst, n * 2);
+  store(dst + 8, n * 2 + 2);
+  store(dst + 16, src);
+  return STATUS_OK;
+}
+
+fn RtlUnicodeToMultiByteN(dst, dst_max, src, src_bytes) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 113);
+    store(tslot + 8, dst);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 113);
+    }
+  }
+  if (dst == 0 || src == 0) { return STATUS_INVALID_PARAM; }
+  if (dst_max <= 0 || src_bytes < 0) { return STATUS_INVALID_PARAM; }
+  var chars = src_bytes / 2;
+  var out = 0;
+  var i = 0;
+  while (i < chars && out < dst_max) {
+    var lo = load8(src + i * 2);
+    var hi = load8(src + i * 2 + 1);
+    var c = lo;
+    if (hi != 0) {
+      // Non-ASCII code point: consult the best-fit mapping table and fall
+      // back to '?' (cold: request URLs are plain ASCII).
+      var cp = hi * 256 + lo;
+      var fit = 0;
+      if (cp >= 0xFF01 && cp <= 0xFF5E) {
+        fit = cp - 0xFEE0;
+      }
+      if (cp >= 0x2018 && cp <= 0x2019) { fit = 39; }
+      if (cp >= 0x201C && cp <= 0x201D) { fit = 34; }
+      c = '?';
+      if (fit > 0 && fit < 127) { c = fit; }
+      store(HEAP_CTL + 248, load(HEAP_CTL + 248) + 1);
+    }
+    store8(dst + out, c);
+    out = out + 1;
+    i = i + 1;
+  }
+  return out;
+}
+
+fn RtlFreeUnicodeString(s) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 114);
+    store(tslot + 8, s);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 114);
+    }
+  }
+  if (s == 0) { return STATUS_INVALID_PARAM; }
+  var buf = load(s + 16);
+  if (buf != 0) {
+    RtlFreeHeap(buf);
+  }
+  store(s, 0);
+  store(s + 8, 0);
+  store(s + 16, 0);
+  return STATUS_OK;
+}
+
+fn RtlDosPathNameToNtPathName_U(src, dst) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 115);
+    store(tslot + 8, src);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 115);
+    }
+  }
+  if (src == 0 || dst == 0) { return STATUS_INVALID_PARAM; }
+  var d0 = load8(src);
+  var d1 = load8(src + 2);
+  if (d1 == ':' && ((d0 >= 'A' && d0 <= 'Z') || (d0 >= 'a' && d0 <= 'z'))) {
+    // Drive-letter form ("C:..."): canonicalize the drive designator into
+    // the NT namespace (cold: request URLs never carry drive letters).
+    var drive = d0;
+    if (drive >= 'a') { drive = drive - 32; }
+    store(HEAP_CTL + 256, drive);
+    if (load8(src + 4) != '\\' && load8(src + 4) != '/') {
+      // Drive-relative: the per-drive current directory would apply.
+      store(HEAP_CTL + 264, load(HEAP_CTL + 264) + 1);
+    }
+  }
+  var n = 0;
+  while (load8(src + n * 2) != 0 || load8(src + n * 2 + 1) != 0) {
+    n = n + 1;
+  }
+  var units = n + 5;
+  var buf = RtlAllocateHeap(units * 2);
+  if (buf == 0) { return STATUS_NO_MEMORY; }
+  store8(buf, '\\');
+  store8(buf + 1, 0);
+  store8(buf + 2, '?');
+  store8(buf + 3, 0);
+  store8(buf + 4, '?');
+  store8(buf + 5, 0);
+  store8(buf + 6, '\\');
+  store8(buf + 7, 0);
+  var i = 0;
+  while (i < n) {
+    var lo = load8(src + i * 2);
+    var hi = load8(src + i * 2 + 1);
+    if (lo == '/' && hi == 0) { lo = '\\'; }
+    store8(buf + 8 + i * 2, lo);
+    store8(buf + 9 + i * 2, hi);
+    i = i + 1;
+  }
+  store8(buf + 8 + n * 2, 0);
+  store8(buf + 9 + n * 2, 0);
+  store(dst, (n + 4) * 2);
+  store(dst + 8, (n + 5) * 2);
+  store(dst + 16, buf);
+  return STATUS_OK;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// vkernel32, VOS-2000: thin Win32-style wrappers over vntdll.
+// ---------------------------------------------------------------------------
+constexpr const char* kKernel322000 = R"(
+fn CloseHandle(h) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 116);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 116);
+    }
+  }
+  var s = NtClose(h);
+  if (s != STATUS_OK) { return 0; }
+  return 1;
+}
+
+fn ReadFile(h, buf, len, out_read) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 117);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 117);
+    }
+  }
+  var n = NtReadFile(h, buf, len);
+  if (n < 0) {
+    if (out_read != 0) { store(out_read, 0); }
+    return 0;
+  }
+  if (out_read != 0) { store(out_read, n); }
+  return 1;
+}
+
+fn WriteFile(h, buf, len, out_written) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 118);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 118);
+    }
+  }
+  var n = NtWriteFile(h, buf, len);
+  if (n < 0) {
+    if (out_written != 0) { store(out_written, 0); }
+    return 0;
+  }
+  if (out_written != 0) { store(out_written, n); }
+  return 1;
+}
+
+fn SetFilePointer(h, pos) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 119);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 119);
+    }
+  }
+  if (h <= 0 || h > MAX_HANDLES) { return -1; }
+  var e = HANDLE_TABLE + (h - 1) * 32;
+  if (load(e) != 1) { return -1; }
+  if (pos < 0) { return -1; }
+  if (pos > 1 << 30) {
+    // Sparse-seek beyond 1 GiB: check the volume's sparse support and
+    // charge the quota (cold: workload files are tiny).
+    var fsz = sys(SYS_DISK_SIZE, load(e + 8));
+    if (fsz < 0) { return -1; }
+    if (pos - fsz > 1 << 30) { return -1; }
+    store(e + 24, load(e + 24) + 1);
+  }
+  store(e + 16, pos);
+  return pos;
+}
+
+fn GetLongPathNameW(src, dst, dst_chars) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 120);
+    store(tslot + 8, src);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 120);
+    }
+  }
+  if (src == 0 || dst == 0 || dst_chars <= 0) { return 0; }
+  var i = 0;
+  var tilde = 0;
+  while (i < dst_chars - 1) {
+    var lo = load8(src + i * 2);
+    var hi = load8(src + i * 2 + 1);
+    if (lo == 0 && hi == 0) { break; }
+    if (lo == '~' && hi == 0) { tilde = i + 1; }
+    store8(dst + i * 2, lo);
+    store8(dst + i * 2 + 1, hi);
+    i = i + 1;
+  }
+  store8(dst + i * 2, 0);
+  store8(dst + i * 2 + 1, 0);
+  if (tilde != 0) {
+    // 8.3 short-name component ("PROGRA~1"): expand it by looking the
+    // directory entry up on disk (cold: URLs never use short names).
+    var probe = sys(SYS_DISK_FIND, dst);
+    if (probe >= 0) {
+      store(HEAP_CTL + 272, probe);
+    } else {
+      store(HEAP_CTL + 272, tilde);
+    }
+    store(HEAP_CTL + 280, load(HEAP_CTL + 280) + 1);
+  }
+  return i;
+}
+)";
+
+}  // namespace
+
+std::string_view ntdll_source_2000() { return kNtdll2000; }
+std::string_view kernel32_source_2000() { return kKernel322000; }
+
+}  // namespace gf::os

@@ -1,0 +1,852 @@
+#include "os/sources.h"
+
+namespace gf::os {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// vntdll, VOS-XP: hardened implementations. Every function gains parameter
+// validation, telemetry, and richer bookkeeping (heap coalescing, CS waiter
+// counts, path canonicalization). Fault-free behaviour on valid inputs is
+// identical to VOS-2000 (asserted by tests); the extra code is what makes
+// the XP faultload larger, as in the paper's Table 3.
+// ---------------------------------------------------------------------------
+constexpr const char* kNtdllXp = R"(
+// --- heap -------------------------------------------------------------
+
+fn RtlAllocateHeap(size) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 121);
+    store(tslot + 8, size);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 121);
+    }
+  }
+  if (size <= 0) { return 0; }
+  if (size > HEAP_END - HEAP_ARENA) { return 0; }
+  tally(0);
+  var need = ((size + 15) / 16) * 16;
+  if (size > 0x40000) {
+    // Large-allocation path: page-granular rounding, separate accounting
+    // and a zero-on-demand policy flag (cold for request traffic).
+    need = ((size + 4095) / 4096) * 4096;
+    var big = load(HEAP_CTL + 48) + 1;
+    store(HEAP_CTL + 48, big);
+    store(HEAP_CTL + 56, size);
+    if (need > HEAP_END - HEAP_ARENA - BLOCK_HDR) {
+      store(HEAP_CTL + 56, 0 - 1);
+      return 0;
+    }
+    if (load(HEAP_CTL + 296) != 0) {
+      store(HEAP_CTL + 304, need);
+    }
+  }
+  var prev = 0;
+  var cur = load(HEAP_CTL);
+  var scanned = 0;
+  while (cur != 0) {
+    if (cur < HEAP_ARENA || cur >= HEAP_END) { return 0; }   // corrupt list
+    scanned = scanned + 1;
+    if (scanned > 100000) { return 0; }                      // cycle guard
+    var bsize = load(cur);
+    if (bsize >= need) {
+      var next = load(cur + 8);
+      var rest = bsize - need;
+      if (rest >= 32) {
+        var tail = cur + BLOCK_HDR + need;
+        store(tail, rest - BLOCK_HDR);
+        store(tail + 8, next);
+        store(cur, need);
+        next = tail;
+      }
+      if (prev == 0) {
+        store(HEAP_CTL, next);
+      } else {
+        store(prev + 8, next);
+      }
+      store(cur + 8, ALLOC_MAGIC);
+      store(HEAP_CTL + 8, load(HEAP_CTL + 8) + 1);
+      store(HEAP_CTL + 24, load(HEAP_CTL + 24) + load(cur));
+      store(HEAP_CTL + 32, sys(SYS_TICK));
+      return cur + BLOCK_HDR;
+    }
+    prev = cur;
+    cur = load(cur + 8);
+  }
+  return 0;
+}
+
+fn RtlFreeHeap(ptr) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 122);
+    store(tslot + 8, ptr);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 122);
+    }
+  }
+  if (ptr == 0) { return STATUS_INVALID_PARAM; }
+  if (ptr % 16 != 0) { return STATUS_INVALID_PARAM; }
+  var blk = ptr - BLOCK_HDR;
+  if (blk < HEAP_ARENA || blk >= HEAP_END) { return STATUS_INVALID_PARAM; }
+  if (load(blk + 8) != ALLOC_MAGIC) { return STATUS_INVALID_PARAM; }
+  if (load(HEAP_CTL + 208) != 0) {
+    // Deferred-free mode (debug tooling; never during normal operation):
+    // wipe the payload and park the block on the quarantine list.
+    var fill = 0;
+    var sz = load(blk);
+    while (fill < sz) {
+      store(blk + BLOCK_HDR + fill, 0x7EEEFEEE);
+      fill = fill + 8;
+    }
+    var qhead = load(HEAP_CTL + 216);
+    store(blk + 8, qhead);
+    store(HEAP_CTL + 216, blk);
+    store(HEAP_CTL + 224, load(HEAP_CTL + 224) + 1);
+    return STATUS_OK;
+  }
+  tally(1);
+  store(HEAP_CTL + 24, load(HEAP_CTL + 24) - load(blk));
+  // Address-ordered insertion so adjacent free blocks can coalesce.
+  var prev = 0;
+  var cur = load(HEAP_CTL);
+  while (cur != 0 && cur < blk) {
+    prev = cur;
+    cur = load(cur + 8);
+  }
+  store(blk + 8, cur);
+  if (prev == 0) {
+    store(HEAP_CTL, blk);
+  } else {
+    store(prev + 8, blk);
+  }
+  // Coalesce with the successor.
+  var bsize = load(blk);
+  if (cur != 0 && blk + BLOCK_HDR + bsize == cur) {
+    store(blk, bsize + BLOCK_HDR + load(cur));
+    store(blk + 8, load(cur + 8));
+  }
+  // Coalesce with the predecessor.
+  if (prev != 0) {
+    var psize = load(prev);
+    if (prev + BLOCK_HDR + psize == blk) {
+      store(prev, psize + BLOCK_HDR + load(blk));
+      store(prev + 8, load(blk + 8));
+    }
+  }
+  store(HEAP_CTL + 16, load(HEAP_CTL + 16) + 1);
+  return STATUS_OK;
+}
+
+// --- handles / files ----------------------------------------------------
+
+fn NtCreateFile(path) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 123);
+    store(tslot + 8, path);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 123);
+    }
+  }
+  if (path == 0) { return STATUS_INVALID_PARAM; }
+  var plen = 0;
+  while (load8(path + plen) != 0) {
+    plen = plen + 1;
+    if (plen > 1024) { return STATUS_INVALID_PARAM; }
+  }
+  if (plen == 0) { return STATUS_INVALID_PARAM; }
+  if (plen > 260) {
+    // Long-path support: require the extended-length prefix and charge
+    // the name quota (cold: workload paths are short).
+    if (load8(path) != '\\' || load8(path + 1) != '\\') {
+      return STATUS_INVALID_PARAM;
+    }
+    var quota = load(HEAP_CTL + 240) + plen;
+    if (quota > 1 << 20) { return STATUS_NO_MEMORY; }
+    store(HEAP_CTL + 240, quota);
+  }
+  tally(2);
+  var id = sys(SYS_DISK_CREATE, path);
+  if (id < 0) { return STATUS_IO_ERROR; }
+  var i = 0;
+  while (i < MAX_HANDLES) {
+    var e = HANDLE_TABLE + i * 32;
+    if (load(e) == 0) {
+      store(e, 1);
+      store(e + 8, id);
+      store(e + 16, 0);
+      store(e + 24, sys(SYS_TICK));
+      return i + 1;
+    }
+    i = i + 1;
+  }
+  return STATUS_NO_MEMORY;
+}
+
+fn NtOpenFile(path) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 124);
+    store(tslot + 8, path);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 124);
+    }
+  }
+  if (path == 0) { return STATUS_INVALID_PARAM; }
+  var plen = 0;
+  while (load8(path + plen) != 0) {
+    plen = plen + 1;
+    if (plen > 1024) { return STATUS_INVALID_PARAM; }
+  }
+  if (plen == 0) { return STATUS_INVALID_PARAM; }
+  var c0 = load8(path);
+  if (c0 == '\\') {
+    // Device-namespace path: resolve through the object directory and
+    // check the symbolic-link reparse budget (cold for URL traffic).
+    var dev = 0;
+    var k = 0;
+    while (k < 16 && load8(path + k) != 0) {
+      dev = dev * 31 + load8(path + k);
+      k = k + 1;
+    }
+    store(HEAP_CTL + 232, dev);
+    var reparse = load(HEAP_CTL + 312) + 1;
+    if (reparse > 31) { return STATUS_NOT_FOUND; }
+    store(HEAP_CTL + 312, reparse);
+    if (dev == 0) { return STATUS_NOT_FOUND; }
+  }
+  tally(3);
+  var id = sys(SYS_DISK_FIND, path);
+  if (id < 0) { return STATUS_NOT_FOUND; }
+  var i = 0;
+  while (i < MAX_HANDLES) {
+    var e = HANDLE_TABLE + i * 32;
+    if (load(e) == 0) {
+      store(e, 1);
+      store(e + 8, id);
+      store(e + 16, 0);
+      store(e + 24, sys(SYS_TICK));
+      return i + 1;
+    }
+    i = i + 1;
+  }
+  return STATUS_NO_MEMORY;
+}
+
+fn NtClose(h) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 125);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 125);
+    }
+  }
+  if (h <= 0 || h > MAX_HANDLES) { return STATUS_INVALID_HANDLE; }
+  var e = HANDLE_TABLE + (h - 1) * 32;
+  if (load(e) == 0) { return STATUS_INVALID_HANDLE; }
+  if (load(e) != 1) { return STATUS_INVALID_HANDLE; }   // unknown type
+  tally(4);
+  store(e, 0);
+  store(e + 8, 0);
+  store(e + 16, 0);
+  store(e + 24, 0);
+  return STATUS_OK;
+}
+
+fn NtReadFile(h, buf, len) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 126);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 126);
+    }
+  }
+  if (h <= 0 || h > MAX_HANDLES) { return STATUS_INVALID_HANDLE; }
+  if (buf == 0) { return STATUS_INVALID_PARAM; }
+  if (len < 0) { return STATUS_INVALID_PARAM; }
+  if (len == 0) { return 0; }
+  var e = HANDLE_TABLE + (h - 1) * 32;
+  if (load(e) != 1) { return STATUS_INVALID_HANDLE; }
+  var id = load(e + 8);
+  var pos = load(e + 16);
+  if (pos < 0) { return STATUS_IO_ERROR; }      // corrupted handle entry
+  // Segmented transfer with a progress guard against device livelock.
+  var done = 0;
+  var spins = 0;
+  while (done < len) {
+    var chunk = len - done;
+    if (chunk > 4096) { chunk = 4096; }
+    var n = sys(SYS_DISK_READ, id, pos + done, buf + done, chunk);
+    if (n < 0) { return STATUS_IO_ERROR; }
+    if (n == 0) { break; }
+    done = done + n;
+    spins = spins + 1;
+    if (spins > 4096) { return STATUS_IO_ERROR; }
+    if (n < chunk) { break; }
+  }
+  store(e + 16, pos + done);
+  note_io(1);
+  tally(5);
+  return done;
+}
+
+fn NtWriteFile(h, buf, len) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 127);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 127);
+    }
+  }
+  if (h <= 0 || h > MAX_HANDLES) { return STATUS_INVALID_HANDLE; }
+  if (buf == 0) { return STATUS_INVALID_PARAM; }
+  if (len < 0) { return STATUS_INVALID_PARAM; }
+  if (len == 0) { return 0; }
+  var e = HANDLE_TABLE + (h - 1) * 32;
+  if (load(e) != 1) { return STATUS_INVALID_HANDLE; }
+  var id = load(e + 8);
+  var pos = load(e + 16);
+  if (pos < 0) { return STATUS_IO_ERROR; }
+  var done = 0;
+  var spins = 0;
+  while (done < len) {
+    var chunk = len - done;
+    if (chunk > 4096) { chunk = 4096; }
+    var n = sys(SYS_DISK_WRITE, id, pos + done, buf + done, chunk);
+    if (n < 0) { return STATUS_IO_ERROR; }
+    if (n == 0) { break; }
+    done = done + n;
+    spins = spins + 1;
+    if (spins > 4096) { return STATUS_IO_ERROR; }
+  }
+  store(e + 16, pos + done);
+  note_io(2);
+  tally(6);
+  return done;
+}
+
+// --- virtual memory ------------------------------------------------------
+
+fn NtProtectVirtualMemory(addr, size, prot) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 128);
+    store(tslot + 8, addr);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 128);
+    }
+  }
+  if (addr < HEAP_ARENA || addr >= HEAP_END) { return STATUS_INVALID_PARAM; }
+  if (size <= 0) { return STATUS_INVALID_PARAM; }
+  if (prot < 0 || prot > 7) { return STATUS_INVALID_PARAM; }
+  var first = (addr - HEAP_ARENA) / PAGE_SIZE;
+  var last = (addr + size - 1 - HEAP_ARENA) / PAGE_SIZE;
+  if (last >= NUM_PAGES) { return STATUS_INVALID_PARAM; }
+  tally(7);
+  var old = load(PAGE_TABLE + first * 8);
+  var i = first;
+  while (i <= last) {
+    store(PAGE_TABLE + i * 8, prot);
+    i = i + 1;
+  }
+  return old;
+}
+
+fn NtQueryVirtualMemory(addr, info) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 129);
+    store(tslot + 8, addr);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 129);
+    }
+  }
+  if (info == 0) { return STATUS_INVALID_PARAM; }
+  if (addr < HEAP_ARENA || addr >= HEAP_END) { return STATUS_INVALID_PARAM; }
+  var page = (addr - HEAP_ARENA) / PAGE_SIZE;
+  if (page < 0 || page >= NUM_PAGES) { return STATUS_INVALID_PARAM; }
+  store(info, HEAP_ARENA + page * PAGE_SIZE);
+  store(info + 8, PAGE_SIZE);
+  store(info + 16, load(PAGE_TABLE + page * 8));
+  return STATUS_OK;
+}
+
+// --- critical sections ----------------------------------------------------
+
+fn RtlEnterCriticalSection(cs) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 130);
+    store(tslot + 8, cs);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 130);
+    }
+  }
+  if (cs == 0) { return STATUS_INVALID_PARAM; }
+  var owner = load(cs + 8);
+  if (owner != 0 && owner != 1) {
+    // Contended acquire (cold: single-threaded SUB): spin with bounded
+    // backoff, then fall back to the wait path.
+    var spins = 0;
+    var backoff = 1;
+    while (load(cs + 8) != 0 && spins < 128) {
+      spins = spins + backoff;
+      backoff = backoff * 2;
+      if (backoff > 16) { backoff = 16; }
+    }
+    store(cs + 24, load(cs + 24) + 1);
+    if (load(cs + 8) != 0) { return STATUS_INVALID_HANDLE; }
+    owner = 0;
+  }
+  if (owner == 1) {
+    var rec = load(cs + 16);
+    if (rec < 0) { return STATUS_INVALID_HANDLE; }
+    store(cs + 16, rec + 1);
+  } else {
+    store(cs + 8, 1);
+    store(cs + 16, 1);
+    store(cs + 24, load(cs + 24) + 1);   // acquisition count
+  }
+  store(cs, load(cs) + 1);
+  return STATUS_OK;
+}
+
+fn RtlLeaveCriticalSection(cs) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 131);
+    store(tslot + 8, cs);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 131);
+    }
+  }
+  if (cs == 0) { return STATUS_INVALID_PARAM; }
+  if (load(cs + 8) != 1) { return STATUS_INVALID_HANDLE; }
+  var rec = load(cs + 16);
+  if (rec <= 0) { return STATUS_INVALID_HANDLE; }   // over-release
+  rec = rec - 1;
+  store(cs + 16, rec);
+  if (rec == 0) {
+    store(cs + 8, 0);
+  }
+  store(cs, load(cs) - 1);
+  return STATUS_OK;
+}
+
+// --- strings ----------------------------------------------------------------
+
+fn RtlInitAnsiString(dst, src) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 132);
+    store(tslot + 8, dst);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 132);
+    }
+  }
+  if (dst == 0) { return STATUS_INVALID_PARAM; }
+  if (src == 0) {
+    store(dst, 0);
+    store(dst + 8, 0);
+    store(dst + 16, 0);
+    return STATUS_OK;
+  }
+  var n = 0;
+  while (load8(src + n) != 0) {
+    n = n + 1;
+    if (n > 32767) { return STATUS_INVALID_PARAM; }
+  }
+  store(dst, n);
+  store(dst + 8, n + 1);
+  store(dst + 16, src);
+  return STATUS_OK;
+}
+
+fn RtlInitUnicodeString(dst, src) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 133);
+    store(tslot + 8, dst);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 133);
+    }
+  }
+  if (dst == 0) { return STATUS_INVALID_PARAM; }
+  if (src == 0) {
+    store(dst, 0);
+    store(dst + 8, 0);
+    store(dst + 16, 0);
+    return STATUS_OK;
+  }
+  var n = 0;
+  while (load8(src + n * 2) != 0 || load8(src + n * 2 + 1) != 0) {
+    n = n + 1;
+    if (n > 16383) { return STATUS_INVALID_PARAM; }
+  }
+  store(dst, n * 2);
+  store(dst + 8, n * 2 + 2);
+  store(dst + 16, src);
+  return STATUS_OK;
+}
+
+fn RtlUnicodeToMultiByteN(dst, dst_max, src, src_bytes) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 134);
+    store(tslot + 8, dst);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 134);
+    }
+  }
+  if (dst == 0 || src == 0) { return STATUS_INVALID_PARAM; }
+  if (dst_max <= 0 || src_bytes < 0) { return STATUS_INVALID_PARAM; }
+  if (src_bytes % 2 != 0) { return STATUS_INVALID_PARAM; }
+  tally(8);
+  var chars = src_bytes / 2;
+  var out = 0;
+  var i = 0;
+  while (i < chars && out < dst_max) {
+    var lo = load8(src + i * 2);
+    var hi = load8(src + i * 2 + 1);
+    var c = lo;
+    if (hi != 0) {
+      // Non-ASCII code point: best-fit mapping with surrogate detection
+      // (cold: request URLs are plain ASCII).
+      var cp = hi * 256 + lo;
+      if (cp >= 0xD800 && cp <= 0xDFFF) {
+        // Unpaired surrogate: not representable.
+        store(HEAP_CTL + 320, load(HEAP_CTL + 320) + 1);
+        return STATUS_INVALID_PARAM;
+      }
+      var fit = 0;
+      if (cp >= 0xFF01 && cp <= 0xFF5E) {
+        fit = cp - 0xFEE0;
+      }
+      if (cp >= 0x2018 && cp <= 0x2019) { fit = 39; }
+      if (cp >= 0x201C && cp <= 0x201D) { fit = 34; }
+      if (cp == 0x00A0) { fit = ' '; }
+      c = '?';
+      if (fit > 0 && fit < 127) { c = fit; }
+      store(HEAP_CTL + 248, load(HEAP_CTL + 248) + 1);
+    }
+    store8(dst + out, c);
+    out = out + 1;
+    i = i + 1;
+  }
+  return out;
+}
+
+fn RtlFreeUnicodeString(s) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 135);
+    store(tslot + 8, s);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 135);
+    }
+  }
+  if (s == 0) { return STATUS_INVALID_PARAM; }
+  var buf = load(s + 16);
+  if (buf != 0) {
+    if (buf >= HEAP_ARENA + BLOCK_HDR && buf < HEAP_END) {
+      RtlFreeHeap(buf);
+    }
+  }
+  store(s, 0);
+  store(s + 8, 0);
+  store(s + 16, 0);
+  return STATUS_OK;
+}
+
+fn RtlDosPathNameToNtPathName_U(src, dst) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 136);
+    store(tslot + 8, src);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 136);
+    }
+  }
+  if (src == 0 || dst == 0) { return STATUS_INVALID_PARAM; }
+  var d0 = load8(src);
+  var d1 = load8(src + 2);
+  if (d1 == ':' && ((d0 >= 'A' && d0 <= 'Z') || (d0 >= 'a' && d0 <= 'z'))) {
+    // Drive-letter form: canonicalize the designator and consult the
+    // per-drive current directory (cold: URLs never carry drive letters).
+    var drive = d0;
+    if (drive >= 'a') { drive = drive - 32; }
+    store(HEAP_CTL + 256, drive);
+    if (load8(src + 4) != '\\' && load8(src + 4) != '/') {
+      store(HEAP_CTL + 264, load(HEAP_CTL + 264) + 1);
+    }
+    if (drive < 'A' || drive > 'Z') { return STATUS_INVALID_PARAM; }
+  }
+  var n = 0;
+  while (load8(src + n * 2) != 0 || load8(src + n * 2 + 1) != 0) {
+    n = n + 1;
+    if (n > 16383) { return STATUS_INVALID_PARAM; }
+  }
+  tally(9);
+  var units = n + 5;
+  var buf = RtlAllocateHeap(units * 2);
+  if (buf == 0) { return STATUS_NO_MEMORY; }
+  store8(buf, '\\');
+  store8(buf + 1, 0);
+  store8(buf + 2, '?');
+  store8(buf + 3, 0);
+  store8(buf + 4, '?');
+  store8(buf + 5, 0);
+  store8(buf + 6, '\\');
+  store8(buf + 7, 0);
+  var i = 0;
+  while (i < n) {
+    var lo = load8(src + i * 2);
+    var hi = load8(src + i * 2 + 1);
+    if (lo == '/' && hi == 0) { lo = '\\'; }
+    store8(buf + 8 + i * 2, lo);
+    store8(buf + 9 + i * 2, hi);
+    i = i + 1;
+  }
+  store8(buf + 8 + n * 2, 0);
+  store8(buf + 9 + n * 2, 0);
+  store(dst, (n + 4) * 2);
+  store(dst + 8, (n + 5) * 2);
+  store(dst + 16, buf);
+  return STATUS_OK;
+}
+)";
+
+// ---------------------------------------------------------------------------
+// vkernel32, VOS-XP: wrappers with extra validation and canonicalization.
+// ---------------------------------------------------------------------------
+constexpr const char* kKernel32Xp = R"(
+fn CloseHandle(h) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 137);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 137);
+    }
+  }
+  if (h <= 0) { return 0; }
+  var s = NtClose(h);
+  if (s != STATUS_OK) { return 0; }
+  tally(10);
+  return 1;
+}
+
+fn ReadFile(h, buf, len, out_read) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 138);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 138);
+    }
+  }
+  if (out_read != 0) { store(out_read, 0); }
+  if (buf == 0 && len > 0) { return 0; }
+  var n = NtReadFile(h, buf, len);
+  if (n < 0) { return 0; }
+  if (out_read != 0) { store(out_read, n); }
+  return 1;
+}
+
+fn WriteFile(h, buf, len, out_written) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 139);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 139);
+    }
+  }
+  if (out_written != 0) { store(out_written, 0); }
+  if (buf == 0 && len > 0) { return 0; }
+  var n = NtWriteFile(h, buf, len);
+  if (n < 0) { return 0; }
+  if (out_written != 0) { store(out_written, n); }
+  return 1;
+}
+
+fn SetFilePointer(h, pos) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 140);
+    store(tslot + 8, h);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 140);
+    }
+  }
+  if (h <= 0 || h > MAX_HANDLES) { return -1; }
+  var e = HANDLE_TABLE + (h - 1) * 32;
+  if (load(e) != 1) { return -1; }
+  if (pos < 0) { return -1; }
+  var fsize = sys(SYS_DISK_SIZE, load(e + 8));
+  if (fsize < 0) { return -1; }
+  if (pos > 1 << 30) {
+    // Sparse-seek beyond 1 GiB (cold: workload files are tiny).
+    if (pos - fsize > 1 << 30) { return -1; }
+    store(e + 24, load(e + 24) + 1);
+  }
+  store(e + 16, pos);
+  tally(11);
+  return pos;
+}
+
+fn GetLongPathNameW(src, dst, dst_chars) {
+  if (load(TRACE_CTL) != 0) {
+    // Event tracing (cold: enabled only by debugging tools).
+    var tseq = load(TRACE_SEQ);
+    var tslot = TRACE_RING + (tseq % TRACE_SLOTS) * 24;
+    store(tslot, 141);
+    store(tslot + 8, src);
+    store(tslot + 16, sys(SYS_TICK));
+    store(TRACE_SEQ, tseq + 1);
+    if (tseq % 1024 == 1023) {
+      sys(SYS_DEBUG, 141);
+    }
+  }
+  if (src == 0 || dst == 0 || dst_chars <= 0) { return 0; }
+  var i = 0;      // read index (chars)
+  var o = 0;      // write index (chars)
+  var prev_sep = 0;
+  var tilde = 0;
+  while (o < dst_chars - 1) {
+    var lo = load8(src + i * 2);
+    var hi = load8(src + i * 2 + 1);
+    if (lo == 0 && hi == 0) { break; }
+    // Collapse duplicate separators ("//" -> "/").
+    var is_sep = 0;
+    if (hi == 0 && (lo == '/' || lo == '\\')) { is_sep = 1; }
+    if (is_sep == 1 && prev_sep == 1) {
+      i = i + 1;
+      continue;
+    }
+    prev_sep = is_sep;
+    if (lo == '~' && hi == 0) { tilde = o + 1; }
+    store8(dst + o * 2, lo);
+    store8(dst + o * 2 + 1, hi);
+    i = i + 1;
+    o = o + 1;
+  }
+  store8(dst + o * 2, 0);
+  store8(dst + o * 2 + 1, 0);
+  if (tilde != 0) {
+    // Expand an 8.3 short-name component via a directory probe (cold).
+    var probe = sys(SYS_DISK_FIND, dst);
+    if (probe >= 0) {
+      store(HEAP_CTL + 272, probe);
+    } else {
+      store(HEAP_CTL + 272, tilde);
+    }
+    store(HEAP_CTL + 280, load(HEAP_CTL + 280) + 1);
+  }
+  return o;
+}
+)";
+
+}  // namespace
+
+std::string_view ntdll_source_xp() { return kNtdllXp; }
+std::string_view kernel32_source_xp() { return kKernel32Xp; }
+
+// Defined in sources_vos2000.cpp.
+std::string_view ntdll_source_2000();
+std::string_view kernel32_source_2000();
+
+std::string_view ntdll_source(OsVersion v) {
+  return v == OsVersion::kVos2000 ? ntdll_source_2000() : ntdll_source_xp();
+}
+
+std::string_view kernel32_source(OsVersion v) {
+  return v == OsVersion::kVos2000 ? kernel32_source_2000() : kernel32_source_xp();
+}
+
+}  // namespace gf::os

@@ -1,0 +1,66 @@
+#include "spec/metrics.h"
+
+namespace gf::spec {
+
+bool is_conforming(const ConnStats& c, double duration_ms,
+                   double conforming_kbps, double max_error_pct) {
+  if (duration_ms <= 0 || c.ops == 0) return false;
+  const double kbps =
+      static_cast<double>(c.bytes) * 8.0 / duration_ms;  // bits per ms = kbps
+  const double err_pct =
+      100.0 * static_cast<double>(c.errors) / static_cast<double>(c.ops);
+  return kbps >= conforming_kbps && err_pct < max_error_pct;
+}
+
+void finalize_metrics(WindowMetrics& m, const std::vector<ConnStats>& conns,
+                      double total_latency_ms, double conforming_kbps,
+                      double max_error_pct) {
+  // THR counts every served operation (SPECWeb's "operations per second"
+  // includes error responses); RTM averages successful operations only.
+  const auto ok_ops = m.ops - m.errors;
+  m.thr = m.duration_ms > 0
+              ? static_cast<double>(m.ops) / (m.duration_ms / 1000.0)
+              : 0.0;
+  m.rtm_ms = ok_ops > 0 ? total_latency_ms / static_cast<double>(ok_ops) : 0.0;
+  m.er_pct = m.ops > 0
+                 ? 100.0 * static_cast<double>(m.errors) / static_cast<double>(m.ops)
+                 : 0.0;
+  m.spc = 0;
+  for (const auto& c : conns) {
+    m.spc += is_conforming(c, m.duration_ms, conforming_kbps, max_error_pct);
+  }
+  m.cc_pct = conns.empty()
+                 ? 0.0
+                 : 100.0 * static_cast<double>(m.spc) / static_cast<double>(conns.size());
+}
+
+WindowMetrics average_metrics(const std::vector<WindowMetrics>& runs) {
+  WindowMetrics avg;
+  if (runs.empty()) return avg;
+  double spc = 0;
+  for (const auto& r : runs) {
+    avg.duration_ms += r.duration_ms;
+    avg.ops += r.ops;
+    avg.errors += r.errors;
+    avg.bytes += r.bytes;
+    avg.thr += r.thr;
+    avg.rtm_ms += r.rtm_ms;
+    avg.er_pct += r.er_pct;
+    spc += r.spc;
+    avg.cc_pct += r.cc_pct;
+  }
+  const auto n = static_cast<double>(runs.size());
+  avg.ops = static_cast<std::uint64_t>(static_cast<double>(avg.ops) / n + 0.5);
+  avg.errors =
+      static_cast<std::uint64_t>(static_cast<double>(avg.errors) / n + 0.5);
+  avg.bytes = static_cast<std::uint64_t>(static_cast<double>(avg.bytes) / n + 0.5);
+  avg.duration_ms /= n;
+  avg.thr /= n;
+  avg.rtm_ms /= n;
+  avg.er_pct /= n;
+  avg.spc = static_cast<int>(spc / n + 0.5);
+  avg.cc_pct /= n;
+  return avg;
+}
+
+}  // namespace gf::spec

@@ -1,0 +1,43 @@
+// SPECWeb99-style measures (paper §3: SPC, THR, RTM, ER%) computed over one
+// measurement window, plus aggregation helpers for multi-iteration runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gf::spec {
+
+/// Per-connection accounting inside a window.
+struct ConnStats {
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct WindowMetrics {
+  double duration_ms = 0;
+  std::uint64_t ops = 0;     ///< all issued operations
+  std::uint64_t errors = 0;  ///< failed operations (bad status/content/timeout)
+  std::uint64_t bytes = 0;
+  double thr = 0;     ///< successful operations per second (THR)
+  double rtm_ms = 0;  ///< mean response time of successful operations (RTM)
+  double er_pct = 0;  ///< error rate over all operations (ER%)
+  int spc = 0;        ///< simultaneous conforming connections (SPC)
+  double cc_pct = 0;  ///< conforming share of offered connections (CC%)
+};
+
+/// Decides conformance per SPECWeb99: average bit rate >= `conforming_kbps`
+/// and error share < `max_error_pct`.
+bool is_conforming(const ConnStats& c, double duration_ms,
+                   double conforming_kbps, double max_error_pct);
+
+/// Fills the derived fields (thr/rtm/er/spc/cc) of `m` from raw counters,
+/// the per-connection table and the summed response time.
+void finalize_metrics(WindowMetrics& m, const std::vector<ConnStats>& conns,
+                      double total_latency_ms, double conforming_kbps,
+                      double max_error_pct);
+
+/// Mean of each metric over iterations (the paper's "Average (all iter)").
+WindowMetrics average_metrics(const std::vector<WindowMetrics>& runs);
+
+}  // namespace gf::spec

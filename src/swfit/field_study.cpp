@@ -1,0 +1,82 @@
+#include "swfit/field_study.h"
+
+#include "util/rng.h"
+
+namespace gf::swfit {
+
+namespace {
+
+/// The long tail outside the 12 emulated types, modeled on the published
+/// study's aggregate shape: mostly Missing/Wrong algorithm & function
+/// defects, with a small Extraneous share.
+struct TailBucket {
+  double pct;
+  OdcClass odc;
+  ConstructNature nature;
+};
+
+constexpr TailBucket kTail[] = {
+    {18.11, OdcClass::kAlgorithm, ConstructNature::kMissing},
+    {12.40, OdcClass::kFunction, ConstructNature::kMissing},
+    {10.10, OdcClass::kAlgorithm, ConstructNature::kWrong},
+    {4.50, OdcClass::kInterface, ConstructNature::kWrong},
+    {2.70, OdcClass::kChecking, ConstructNature::kWrong},
+    {1.50, OdcClass::kAlgorithm, ConstructNature::kExtraneous},
+};
+
+}  // namespace
+
+std::vector<DefectRecord> FieldStudy::generate(std::size_t n, std::uint64_t seed) {
+  std::vector<double> weights;
+  for (const auto& info : fault_type_table()) weights.push_back(info.field_coverage);
+  for (const auto& t : kTail) weights.push_back(t.pct);
+
+  util::Rng rng(seed);
+  std::vector<DefectRecord> out;
+  out.reserve(n);
+  const auto table = fault_type_table();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto k = rng.weighted(weights);
+    DefectRecord rec;
+    if (k < table.size()) {
+      const auto& info = table[k];
+      rec.type = info.type;
+      rec.odc = info.odc;
+      rec.nature = info.nature;
+    } else {
+      const auto& t = kTail[k - table.size()];
+      rec.odc = t.odc;
+      rec.nature = t.nature;
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<CoverageRow> FieldStudy::tabulate(const std::vector<DefectRecord>& records) {
+  std::vector<CoverageRow> rows;
+  if (records.empty()) return rows;
+  for (const auto& info : fault_type_table()) {
+    std::size_t count = 0;
+    for (const auto& r : records) count += r.type == info.type;
+    rows.push_back({info.type,
+                    100.0 * static_cast<double>(count) /
+                        static_cast<double>(records.size())});
+  }
+  return rows;
+}
+
+double FieldStudy::total_coverage(const std::vector<DefectRecord>& records) {
+  double sum = 0.0;
+  for (const auto& row : tabulate(records)) sum += row.pct;
+  return sum;
+}
+
+double FieldStudy::extraneous_share(const std::vector<DefectRecord>& records) {
+  if (records.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const auto& r : records) count += r.nature == ConstructNature::kExtraneous;
+  return 100.0 * static_cast<double>(count) / static_cast<double>(records.size());
+}
+
+}  // namespace gf::swfit

@@ -1,0 +1,57 @@
+#include "swfit/injector.h"
+
+namespace gf::swfit {
+
+namespace {
+
+bool window_matches(const isa::Image& img, std::uint64_t addr,
+                    const std::vector<isa::Instr>& expect) {
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    const auto in = img.at(addr + i * isa::kInstrSize);
+    if (!in || !(*in == expect[i])) return false;
+  }
+  return true;
+}
+
+bool patch_window(isa::Image& img, std::uint64_t addr,
+                  const std::vector<isa::Instr>& content) {
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    if (!img.patch(addr + i * isa::kInstrSize, content[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool apply_fault(isa::Image& img, const FaultLocation& fault) {
+  if (!window_matches(img, fault.addr, fault.original)) return false;
+  return patch_window(img, fault.addr, fault.mutated);
+}
+
+bool remove_fault(isa::Image& img, const FaultLocation& fault) {
+  if (!window_matches(img, fault.addr, fault.mutated)) return false;
+  return patch_window(img, fault.addr, fault.original);
+}
+
+bool Injector::inject(const FaultLocation& fault) {
+  restore();
+  if (!apply_fault(kernel_.active_image(), fault)) return false;
+  kernel_.sync_code();
+  active_ = fault;
+  ++injections_;
+  return true;
+}
+
+void Injector::restore() {
+  if (!active_) return;
+  // remove_fault can only fail if someone else patched the window while the
+  // fault was active, which would be a harness bug; restore the original
+  // bytes unconditionally in that case as well.
+  if (!remove_fault(kernel_.active_image(), *active_)) {
+    patch_window(kernel_.active_image(), active_->addr, active_->original);
+  }
+  kernel_.sync_code();
+  active_.reset();
+}
+
+}  // namespace gf::swfit

@@ -1,0 +1,54 @@
+// G-SWFIT step 2: runtime injection.
+//
+// The injector patches one fault at a time into a target image and restores
+// it byte-exactly afterwards — the paper's injector swaps faults every 10
+// seconds during the benchmark run. Injection verifies that the bytes being
+// replaced match the faultload's recorded originals, so a stale faultload
+// (or overlapping faults) can never silently corrupt the target.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/image.h"
+#include "os/kernel.h"
+#include "swfit/faultload.h"
+
+namespace gf::swfit {
+
+/// Image-level patching primitives (usable without a kernel, e.g. in the
+/// emulation-accuracy experiment).
+/// Returns false when the image bytes do not match `fault.original`.
+bool apply_fault(isa::Image& img, const FaultLocation& fault);
+/// Returns false when the image bytes do not match `fault.mutated`.
+bool remove_fault(isa::Image& img, const FaultLocation& fault);
+
+/// Stateful injector bound to a kernel: patches the kernel's active image
+/// and keeps the VM's code memory in sync.
+class Injector {
+ public:
+  explicit Injector(os::Kernel& kernel) : kernel_(kernel) {}
+  ~Injector() { restore(); }
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Injects `fault` (restoring any previously active fault first).
+  /// Returns false and leaves the target pristine on a mismatch.
+  bool inject(const FaultLocation& fault);
+
+  /// Restores the pristine code. Safe to call when nothing is active.
+  void restore();
+
+  const std::optional<FaultLocation>& active() const noexcept { return active_; }
+
+  /// Number of inject operations performed (telemetry).
+  std::uint64_t injections() const noexcept { return injections_; }
+
+ private:
+  os::Kernel& kernel_;
+  std::optional<FaultLocation> active_;
+  std::uint64_t injections_ = 0;
+};
+
+}  // namespace gf::swfit

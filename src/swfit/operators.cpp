@@ -1,0 +1,459 @@
+#include "swfit/operators.h"
+
+#include <algorithm>
+
+namespace gf::swfit {
+
+using isa::Instr;
+using isa::Op;
+
+// ---------------------------------------------------------------------------
+// FunctionView
+// ---------------------------------------------------------------------------
+
+FunctionView::FunctionView(const isa::Image& img, const isa::Symbol& sym)
+    : name_(sym.name), base_(sym.addr) {
+  const std::size_t n = sym.size / isa::kInstrSize;
+  instrs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto in = img.at(sym.addr + i * isa::kInstrSize);
+    instrs_.push_back(in.value_or(Instr{Op::kNop, 0, 0, 0, 0}));
+  }
+  target_counts_.assign(n, 0);
+  for (const auto& in : instrs_) {
+    if (isa::is_branch(in.op) || in.op == Op::kJmp) {
+      const auto t = index_of(static_cast<std::uint64_t>(in.imm));
+      if (t != npos) {
+        ++target_counts_[t];
+        jump_targets_.push_back(t);
+      }
+    }
+  }
+  std::sort(jump_targets_.begin(), jump_targets_.end());
+
+  for (const auto& in : instrs_) {
+    if ((in.op == Op::kLd || in.op == Op::kSt) && in.rs1 == isa::kRegFp &&
+        in.imm < 0) {
+      locals_.push_back(in.imm);
+    }
+  }
+  std::sort(locals_.begin(), locals_.end());
+  locals_.erase(std::unique(locals_.begin(), locals_.end()), locals_.end());
+
+  // Standard epilogue: mov sp, fp; pop fp; ret (last three instructions).
+  if (n >= 3 && instrs_[n - 1].op == Op::kRet && instrs_[n - 2].op == Op::kPop &&
+      instrs_[n - 2].rd == isa::kRegFp && instrs_[n - 3].op == Op::kMov &&
+      instrs_[n - 3].rd == isa::kRegSp) {
+    epilogue_ = n - 3;
+  }
+}
+
+std::size_t FunctionView::index_of(std::uint64_t addr) const noexcept {
+  if (addr < base_) return npos;
+  const auto off = addr - base_;
+  if (off % isa::kInstrSize != 0) return npos;
+  const auto i = off / isa::kInstrSize;
+  if (i >= instrs_.size()) return npos;
+  return i;
+}
+
+bool FunctionView::is_jump_target(std::size_t t) const noexcept {
+  return t < target_counts_.size() && target_counts_[t] > 0;
+}
+
+bool FunctionView::target_inside(std::size_t lo, std::size_t hi) const noexcept {
+  const auto it = std::upper_bound(jump_targets_.begin(), jump_targets_.end(), lo);
+  return it != jump_targets_.end() && *it < hi;
+}
+
+int FunctionView::targets_count(std::size_t t) const noexcept {
+  return t < target_counts_.size() ? target_counts_[t] : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kR0 = 0;
+
+bool is_call_like(const Instr& in, const ScanOptions& opts) {
+  return in.op == Op::kCall || (opts.include_sys && in.op == Op::kSys);
+}
+
+/// True when the window [i, i+len) is a store-to-local of a MOVI constant:
+///   MOVI r0, imm ; ST [fp, off], r0
+bool match_const_store(const FunctionView& fn, std::size_t i) {
+  if (i + 1 >= fn.size()) return false;
+  const auto& movi = fn.at(i);
+  const auto& st = fn.at(i + 1);
+  return movi.op == Op::kMovI && movi.rd == kR0 && st.op == Op::kSt &&
+         st.rs1 == isa::kRegFp && st.rs2 == kR0 && st.imm < 0;
+}
+
+/// Emits a fault that replaces the window [i, i+len) with the given
+/// instructions.
+void emit(const FunctionView& fn, FaultType type, std::size_t i,
+          std::vector<Instr> mutated, std::vector<FaultLocation>& out) {
+  FaultLocation f;
+  f.type = type;
+  f.function = fn.name();
+  f.addr = fn.addr_of(i);
+  for (std::size_t k = 0; k < mutated.size(); ++k) f.original.push_back(fn.at(i + k));
+  f.mutated = std::move(mutated);
+  out.push_back(std::move(f));
+}
+
+std::vector<Instr> nops(std::size_t n) {
+  return std::vector<Instr>(n, Instr{Op::kNop, 0, 0, 0, 0});
+}
+
+/// Finds the first store index per fp offset (distinguishes initialization
+/// from later assignment).
+std::size_t first_store_index(const FunctionView& fn, std::int32_t off) {
+  for (std::size_t i = 0; i < fn.size(); ++i) {
+    const auto& in = fn.at(i);
+    if (in.op == Op::kSt && in.rs1 == isa::kRegFp && in.imm == off) return i;
+  }
+  return FunctionView::npos;
+}
+
+// --- MVI / MVAV / WVAV: constant stores -------------------------------------
+
+void scan_mvi(const FunctionView& fn, const ScanOptions&,
+              std::vector<FaultLocation>& out) {
+  for (std::size_t i = 0; i + 1 < fn.size(); ++i) {
+    if (!match_const_store(fn, i)) continue;
+    const auto off = fn.at(i + 1).imm;
+    if (first_store_index(fn, off) != i + 1) continue;  // not the init
+    emit(fn, FaultType::kMVI, i, nops(2), out);
+  }
+}
+
+void scan_mvav(const FunctionView& fn, const ScanOptions&,
+               std::vector<FaultLocation>& out) {
+  for (std::size_t i = 0; i + 1 < fn.size(); ++i) {
+    if (!match_const_store(fn, i)) continue;
+    const auto off = fn.at(i + 1).imm;
+    if (first_store_index(fn, off) == i + 1) continue;  // that's the init (MVI)
+    emit(fn, FaultType::kMVAV, i, nops(2), out);
+  }
+}
+
+void scan_wvav(const FunctionView& fn, const ScanOptions&,
+               std::vector<FaultLocation>& out) {
+  for (std::size_t i = 0; i + 1 < fn.size(); ++i) {
+    if (!match_const_store(fn, i)) continue;
+    auto movi = fn.at(i);
+    movi.imm = movi.imm + 1;  // classic off-by-one wrong value
+    emit(fn, FaultType::kWVAV, i, {movi, fn.at(i + 1)}, out);
+  }
+}
+
+// --- MVAE: expression result stored to a local ------------------------------
+
+void scan_mvae(const FunctionView& fn, const ScanOptions&,
+               std::vector<FaultLocation>& out) {
+  for (std::size_t i = 0; i + 1 < fn.size(); ++i) {
+    const auto& alu = fn.at(i);
+    const auto& st = fn.at(i + 1);
+    if (!isa::is_alu(alu.op) || alu.rd != kR0) continue;
+    if (st.op != Op::kSt || st.rs1 != isa::kRegFp || st.rs2 != kR0 || st.imm >= 0)
+      continue;
+    // Remove the assignment: the expression and the store vanish.
+    emit(fn, FaultType::kMVAE, i, nops(2), out);
+  }
+}
+
+// --- MIA / MIFS: if-constructs ------------------------------------------------
+
+/// Classifies a conditional branch at index i as an "if (cond) then-body"
+/// construct with no else. Returns the body end (the branch target index),
+/// or npos when the pattern does not apply.
+std::size_t match_if_construct(const FunctionView& fn, std::size_t i,
+                               const ScanOptions& opts) {
+  const auto& br = fn.at(i);
+  if (!isa::is_branch(br.op)) return FunctionView::npos;
+  const auto t = fn.index_of(static_cast<std::uint64_t>(br.imm));
+  if (t == FunctionView::npos || t <= i + 1) return FunctionView::npos;
+  const auto body_len = t - (i + 1);
+  if (body_len == 0 || body_len > static_cast<std::size_t>(opts.max_if_body)) {
+    return FunctionView::npos;
+  }
+  // Exactly this branch targets t: rules out &&-chains (MLAC territory).
+  if (fn.targets_count(t) != 1) return FunctionView::npos;
+  // Nothing else jumps into the middle of the body.
+  if (fn.target_inside(i + 1, t)) return FunctionView::npos;
+  // The body must be loop-free and must not be the then-arm of an if/else.
+  for (std::size_t k = i + 1; k < t; ++k) {
+    const auto& in = fn.at(k);
+    if (in.op == Op::kJmp) {
+      const auto jt = fn.index_of(static_cast<std::uint64_t>(in.imm));
+      if (jt == FunctionView::npos) return FunctionView::npos;
+      if (jt <= i) return FunctionView::npos;  // backward: a loop
+      // A forward JMP inside the body is fine only when it is a `return`
+      // (jump to the epilogue); otherwise this is an if/else join.
+      if (jt != fn.epilogue_index()) return FunctionView::npos;
+    } else if (isa::is_branch(in.op) || in.op == Op::kRet) {
+      return FunctionView::npos;  // nested control flow: skip
+    }
+  }
+  return t;
+}
+
+void scan_mia(const FunctionView& fn, const ScanOptions& opts,
+              std::vector<FaultLocation>& out) {
+  for (std::size_t i = 0; i < fn.size(); ++i) {
+    if (match_if_construct(fn, i, opts) == FunctionView::npos) continue;
+    // Missing "if (cond)": the guard disappears, the body always runs.
+    emit(fn, FaultType::kMIA, i, nops(1), out);
+  }
+}
+
+void scan_mifs(const FunctionView& fn, const ScanOptions& opts,
+               std::vector<FaultLocation>& out) {
+  for (std::size_t i = 0; i < fn.size(); ++i) {
+    const auto t = match_if_construct(fn, i, opts);
+    if (t == FunctionView::npos) continue;
+    // Missing "if (cond) { body }": always skip to the join point.
+    auto jmp = fn.at(i);
+    jmp.op = Op::kJmp;
+    jmp.rd = jmp.rs1 = jmp.rs2 = 0;
+    emit(fn, FaultType::kMIFS, i, {jmp}, out);
+  }
+}
+
+// --- MLAC: missing && clause ---------------------------------------------------
+
+void scan_mlac(const FunctionView& fn, const ScanOptions& opts,
+               std::vector<FaultLocation>& out) {
+  for (std::size_t i = 0; i < fn.size(); ++i) {
+    const auto& first = fn.at(i);
+    if (!isa::is_branch(first.op)) continue;
+    const auto target = first.imm;
+    // Look for a second conditional branch with the same target close by.
+    const std::size_t limit =
+        std::min(fn.size(), i + 1 + static_cast<std::size_t>(opts.mlac_gap));
+    for (std::size_t j = i + 1; j < limit; ++j) {
+      const auto& second = fn.at(j);
+      if (second.op == Op::kJmp || second.op == Op::kCall ||
+          second.op == Op::kRet) {
+        break;  // other control flow in between: not a && chain
+      }
+      if (!isa::is_branch(second.op)) continue;
+      if (second.imm != target) break;
+      // No label between the two tests (both belong to one condition).
+      if (fn.target_inside(i, j + 1)) break;
+      // Drop the first test: NOP its branch and the immediately preceding
+      // compare when present.
+      if (i > 0 && (fn.at(i - 1).op == Op::kCmp || fn.at(i - 1).op == Op::kCmpI)) {
+        emit(fn, FaultType::kMLAC, i - 1, nops(2), out);
+      } else {
+        emit(fn, FaultType::kMLAC, i, nops(1), out);
+      }
+      break;
+    }
+  }
+}
+
+// --- MFC: missing function call -------------------------------------------------
+
+void scan_mfc(const FunctionView& fn, const ScanOptions& opts,
+              std::vector<FaultLocation>& out) {
+  for (std::size_t i = 0; i < fn.size(); ++i) {
+    const auto& in = fn.at(i);
+    if (!is_call_like(in, opts)) continue;
+    // Eligible only when the return value is provably unused: r0 must be
+    // overwritten before any read, without intervening control flow.
+    bool unused = false;
+    for (std::size_t k = i + 1; k < fn.size(); ++k) {
+      const auto& nxt = fn.at(k);
+      if (isa::reads_reg(nxt, kR0)) break;          // used
+      if (isa::is_jump(nxt.op)) break;              // unknown beyond: skip
+      if (is_call_like(nxt, opts)) break;           // next call consumes args
+      const auto rd = isa::dest_reg(nxt);
+      if (rd && *rd == kR0) {
+        unused = true;
+        break;
+      }
+      if (fn.is_jump_target(k)) break;  // merge point: unknown
+    }
+    if (!unused) continue;
+    emit(fn, FaultType::kMFC, i, nops(1), out);
+  }
+}
+
+// --- MLPC: missing small straight-line block -------------------------------------
+
+bool mlpc_eligible(const Instr& in) {
+  switch (in.op) {
+    case Op::kMovI:
+    case Op::kMov:
+    case Op::kLd:
+    case Op::kSt:
+    case Op::kLdB:
+    case Op::kStB:
+    case Op::kAddI:
+    case Op::kNot:
+    case Op::kNeg:
+      break;
+    default:
+      if (!isa::is_alu(in.op)) return false;
+      break;
+  }
+  // Never remove stack/frame bookkeeping (not a source-level construct).
+  const auto rd = isa::dest_reg(in);
+  if (rd && (*rd == isa::kRegSp || *rd == isa::kRegFp)) return false;
+  return true;
+}
+
+void scan_mlpc(const FunctionView& fn, const ScanOptions& opts,
+               std::vector<FaultLocation>& out) {
+  std::size_t run_start = 0;
+  std::size_t run_len = 0;
+  auto flush = [&] {
+    // A "small localized part of the algorithm" must have an observable
+    // effect: require at least one store in the window. Windows longer
+    // than max_block are truncated (the paper's operator caps the size of
+    // the omitted code).
+    if (run_len >= static_cast<std::size_t>(opts.min_block)) {
+      const auto len =
+          std::min(run_len, static_cast<std::size_t>(opts.max_block));
+      bool has_store = false;
+      for (std::size_t k = 0; k < len; ++k) {
+        const auto op = fn.at(run_start + k).op;
+        has_store = has_store || op == Op::kSt || op == Op::kStB;
+      }
+      if (has_store) emit(fn, FaultType::kMLPC, run_start, nops(len), out);
+    }
+    run_len = 0;
+  };
+  // Skip the prologue (push fp / mov fp / addi sp + parameter spills):
+  // frame setup is compiler plumbing, not a source-level construct.
+  std::size_t first = 0;
+  while (first < fn.size()) {
+    const auto& in = fn.at(first);
+    const bool prologue =
+        (in.op == Op::kPush && in.rs1 == isa::kRegFp) ||
+        (in.op == Op::kMov && in.rd == isa::kRegFp) ||
+        (in.op == Op::kAddI && in.rd == isa::kRegSp) ||
+        (in.op == Op::kSt && in.rs1 == isa::kRegFp && in.rs2 >= isa::kRegArg0 &&
+         in.rs2 < isa::kRegArg0 + isa::kNumArgRegs);
+    if (!prologue) break;
+    ++first;
+  }
+  for (std::size_t i = first; i < fn.size(); ++i) {
+    if (fn.is_jump_target(i)) flush();
+    if (mlpc_eligible(fn.at(i))) {
+      if (run_len == 0) run_start = i;
+      ++run_len;
+    } else {
+      flush();
+    }
+  }
+  flush();
+}
+
+// --- WLEC: wrong branch condition ---------------------------------------------------
+
+void scan_wlec(const FunctionView& fn, const ScanOptions&,
+               std::vector<FaultLocation>& out) {
+  for (std::size_t i = 0; i < fn.size(); ++i) {
+    const auto& in = fn.at(i);
+    if (!isa::is_branch(in.op)) continue;
+    auto inv = in;
+    inv.op = isa::invert_branch(in.op);
+    emit(fn, FaultType::kWLEC, i, {inv}, out);
+  }
+}
+
+// --- WAEP / WPFV: wrong call parameters ------------------------------------------------
+
+bool feeds_call(const FunctionView& fn, std::size_t i, std::uint8_t reg,
+                const ScanOptions& opts) {
+  const std::size_t limit =
+      std::min(fn.size(), i + 1 + static_cast<std::size_t>(opts.call_window));
+  for (std::size_t k = i + 1; k < limit; ++k) {
+    const auto& in = fn.at(k);
+    if (is_call_like(in, opts)) return true;
+    if (isa::is_jump(in.op)) return false;
+    const auto rd = isa::dest_reg(in);
+    if (rd && *rd == reg) return false;  // overwritten before the call
+    if (fn.is_jump_target(k)) return false;
+  }
+  return false;
+}
+
+Op waep_swap(Op op) {
+  switch (op) {
+    case Op::kAdd: return Op::kSub;
+    case Op::kSub: return Op::kAdd;
+    case Op::kMul: return Op::kAdd;
+    case Op::kDiv: return Op::kMul;
+    case Op::kMod: return Op::kDiv;
+    case Op::kAnd: return Op::kOr;
+    case Op::kOr: return Op::kAnd;
+    case Op::kXor: return Op::kOr;
+    case Op::kShl: return Op::kShr;
+    case Op::kShr: return Op::kShl;
+    default: return op;
+  }
+}
+
+void scan_waep(const FunctionView& fn, const ScanOptions& opts,
+               std::vector<FaultLocation>& out) {
+  for (std::size_t i = 0; i < fn.size(); ++i) {
+    const auto& in = fn.at(i);
+    if (!isa::is_alu(in.op)) continue;
+    if (in.rd < isa::kRegArg0 || in.rd >= isa::kRegArg0 + isa::kNumArgRegs)
+      continue;
+    if (!feeds_call(fn, i, in.rd, opts)) continue;
+    auto wrong = in;
+    wrong.op = waep_swap(in.op);
+    if (wrong.op == in.op) continue;
+    emit(fn, FaultType::kWAEP, i, {wrong}, out);
+  }
+}
+
+void scan_wpfv(const FunctionView& fn, const ScanOptions& opts,
+               std::vector<FaultLocation>& out) {
+  const auto& locals = fn.local_offsets();
+  if (locals.size() < 2) return;  // no other variable to confuse it with
+  for (std::size_t i = 0; i < fn.size(); ++i) {
+    const auto& in = fn.at(i);
+    if (in.op != Op::kLd || in.rs1 != isa::kRegFp || in.imm >= 0) continue;
+    if (in.rd < isa::kRegArg0 || in.rd >= isa::kRegArg0 + isa::kNumArgRegs)
+      continue;
+    if (!feeds_call(fn, i, in.rd, opts)) continue;
+    // Use the next local in the sorted cycle as the "wrong" variable.
+    const auto it = std::find(locals.begin(), locals.end(), in.imm);
+    if (it == locals.end()) continue;
+    const auto next = std::next(it) == locals.end() ? locals.front() : *std::next(it);
+    if (next == in.imm) continue;
+    auto wrong = in;
+    wrong.imm = next;
+    emit(fn, FaultType::kWPFV, i, {wrong}, out);
+  }
+}
+
+constexpr MutationOperator kLibrary[] = {
+    {FaultType::kMVI, "OMVI", scan_mvi},
+    {FaultType::kMVAV, "OMVAV", scan_mvav},
+    {FaultType::kMVAE, "OMVAE", scan_mvae},
+    {FaultType::kMIA, "OMIA", scan_mia},
+    {FaultType::kMLAC, "OMLAC", scan_mlac},
+    {FaultType::kMFC, "OMFC", scan_mfc},
+    {FaultType::kMIFS, "OMIFS", scan_mifs},
+    {FaultType::kMLPC, "OMLPC", scan_mlpc},
+    {FaultType::kWVAV, "OWVAV", scan_wvav},
+    {FaultType::kWLEC, "OWLEC", scan_wlec},
+    {FaultType::kWAEP, "OWAEP", scan_waep},
+    {FaultType::kWPFV, "OWPFV", scan_wpfv},
+};
+
+}  // namespace
+
+std::span<const MutationOperator> operator_library() { return kLibrary; }
+
+}  // namespace gf::swfit

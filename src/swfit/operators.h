@@ -1,0 +1,86 @@
+// The mutation-operator library — the heart of G-SWFIT.
+//
+// Each operator has a *search pattern* over compiler-generated instruction
+// idioms (see minic/codegen.h for the idiom contract) and a *low-level
+// mutation* that reproduces the code the compiler would have emitted had
+// the programmer made that mistake in source. One operator per fault type
+// of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "swfit/fault_types.h"
+#include "swfit/faultload.h"
+
+namespace gf::swfit {
+
+/// Scan constraints, mirroring G-SWFIT's "look like a real residual fault"
+/// restrictions.
+struct ScanOptions {
+  int max_if_body = 8;    ///< MIA/MIFS: max body instructions
+  int min_block = 2;      ///< MLPC: min straight-line block
+  int max_block = 5;      ///< MLPC: max straight-line block
+  int call_window = 5;    ///< WAEP/WPFV: max distance from setup to call
+  int mlac_gap = 5;       ///< MLAC: max instructions between the two tests
+  bool include_sys = true;  ///< treat SYS (kernel intrinsics) as calls
+};
+
+/// Decoded, pre-analyzed view of one function — what operators match on.
+class FunctionView {
+ public:
+  FunctionView(const isa::Image& img, const isa::Symbol& sym);
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t addr_of(std::size_t i) const noexcept {
+    return base_ + i * isa::kInstrSize;
+  }
+  std::size_t size() const noexcept { return instrs_.size(); }
+  const isa::Instr& at(std::size_t i) const noexcept { return instrs_[i]; }
+
+  /// Index of an absolute address inside the function, or npos.
+  std::size_t index_of(std::uint64_t addr) const noexcept;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Any control transfer within the function targets index t.
+  bool is_jump_target(std::size_t t) const noexcept;
+  /// Any target strictly inside (lo, hi) (exclusive bounds).
+  bool target_inside(std::size_t lo, std::size_t hi) const noexcept;
+  /// Number of branches/jumps whose target is index t.
+  int targets_count(std::size_t t) const noexcept;
+
+  /// Index of the epilogue (the `mov sp, fp` of the single exit block);
+  /// npos when the function does not end with the standard epilogue.
+  std::size_t epilogue_index() const noexcept { return epilogue_; }
+
+  /// Sorted distinct fp-relative offsets referenced by LD/ST in the body
+  /// (the function's local variable slots).
+  const std::vector<std::int32_t>& local_offsets() const noexcept {
+    return locals_;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t base_;
+  std::vector<isa::Instr> instrs_;
+  std::vector<std::size_t> jump_targets_;  // sorted target indexes
+  std::vector<int> target_counts_;         // per instruction index
+  std::vector<std::int32_t> locals_;
+  std::size_t epilogue_ = npos;
+};
+
+/// One operator of the library.
+struct MutationOperator {
+  FaultType type;
+  const char* name;
+  void (*scan)(const FunctionView& fn, const ScanOptions& opts,
+               std::vector<FaultLocation>& out);
+};
+
+/// The full operator library, Table 1 order.
+std::span<const MutationOperator> operator_library();
+
+}  // namespace gf::swfit

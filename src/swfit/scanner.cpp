@@ -1,0 +1,46 @@
+#include "swfit/scanner.h"
+
+#include <algorithm>
+
+namespace gf::swfit {
+
+namespace {
+
+void scan_function(const isa::Image& img, const isa::Symbol& sym,
+                   const ScanOptions& opts, std::vector<FaultLocation>& out) {
+  const FunctionView view(img, sym);
+  for (const auto& op : operator_library()) {
+    op.scan(view, opts, out);
+  }
+}
+
+}  // namespace
+
+Faultload Scanner::scan(const isa::Image& img,
+                        const std::vector<std::string>& functions) const {
+  Faultload fl;
+  fl.target = img.name();
+  fl.digest = img.code_digest();
+  for (const auto& name : functions) {
+    const auto* sym = img.find_symbol(name);
+    if (sym == nullptr) continue;
+    scan_function(img, *sym, opts_, fl.faults);
+  }
+  // Stable order: by address, then by type — independent of the order the
+  // operators or functions were visited in.
+  std::sort(fl.faults.begin(), fl.faults.end(),
+            [](const FaultLocation& a, const FaultLocation& b) {
+              if (a.addr != b.addr) return a.addr < b.addr;
+              return a.type < b.type;
+            });
+  return fl;
+}
+
+Faultload Scanner::scan_all(const isa::Image& img) const {
+  std::vector<std::string> names;
+  names.reserve(img.symbols().size());
+  for (const auto& s : img.symbols()) names.push_back(s.name);
+  return scan(img, names);
+}
+
+}  // namespace gf::swfit

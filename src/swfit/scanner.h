@@ -1,0 +1,35 @@
+// G-SWFIT step 1: scan a target module and generate the faultload.
+//
+// The scan is a pure function of (image bytes, symbol table, options) — the
+// same target always yields byte-identical faultloads, which is what makes
+// the methodology repeatable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "swfit/faultload.h"
+#include "swfit/operators.h"
+
+namespace gf::swfit {
+
+class Scanner {
+ public:
+  explicit Scanner(ScanOptions opts = {}) : opts_(opts) {}
+
+  /// Scans only the listed functions (the paper's fine-tuned faultload is
+  /// restricted to the Table 2 API surface). Unknown names are ignored.
+  Faultload scan(const isa::Image& img,
+                 const std::vector<std::string>& functions) const;
+
+  /// Scans every symbol in the image.
+  Faultload scan_all(const isa::Image& img) const;
+
+  const ScanOptions& options() const noexcept { return opts_; }
+
+ private:
+  ScanOptions opts_;
+};
+
+}  // namespace gf::swfit

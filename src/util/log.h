@@ -1,0 +1,42 @@
+// Minimal leveled logging. The experiment controller narrates campaign
+// progress at Info level; tests run with logging off by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level. Defaults to kWarn so library users are quiet
+/// unless they opt in.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { log_line(level_, out_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+#define GF_LOG(level) ::gf::util::detail::LineBuilder(level)
+#define GF_DEBUG() GF_LOG(::gf::util::LogLevel::kDebug)
+#define GF_INFO() GF_LOG(::gf::util::LogLevel::kInfo)
+#define GF_WARN() GF_LOG(::gf::util::LogLevel::kWarn)
+
+}  // namespace gf::util

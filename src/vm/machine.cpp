@@ -1,0 +1,331 @@
+#include "vm/machine.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gf::vm {
+
+using isa::Instr;
+using isa::kInstrSize;
+using isa::Op;
+
+const char* trap_name(Trap t) noexcept {
+  switch (t) {
+    case Trap::kNone: return "none";
+    case Trap::kHalt: return "halt";
+    case Trap::kBadMemory: return "bad-memory";
+    case Trap::kBadOpcode: return "bad-opcode";
+    case Trap::kBadJump: return "bad-jump";
+    case Trap::kDivZero: return "div-zero";
+    case Trap::kCycleLimit: return "cycle-limit";
+    case Trap::kStackFault: return "stack-fault";
+  }
+  return "?";
+}
+
+Machine::Machine(std::size_t mem_size) : mem_(mem_size, 0) {
+  // Default stack: top 64 KiB of memory.
+  stack_hi_ = mem_.size();
+  stack_lo_ = mem_.size() > (64u << 10) ? mem_.size() - (64u << 10) : 0;
+}
+
+void Machine::load_image(const isa::Image& img) {
+  reload_code(img);
+  code_ranges_.push_back({img.base(), img.end()});
+}
+
+void Machine::reload_code(const isa::Image& img) {
+  const auto code = img.code();
+  if (img.base() + code.size() > mem_.size()) {
+    // Misconfigured layout is a programming error in the embedding code,
+    // not a runtime fault of the guest; fail loudly.
+    throw std::runtime_error("image does not fit in VM memory: " + img.name());
+  }
+  std::memcpy(mem_.data() + img.base(), code.data(), code.size());
+}
+
+void Machine::set_stack_region(std::uint64_t lo, std::uint64_t hi) {
+  stack_lo_ = lo;
+  stack_hi_ = hi;
+}
+
+bool Machine::read_u8(std::uint64_t addr, std::uint8_t& out) const noexcept {
+  if (addr < kNullPageSize || addr >= mem_.size()) return false;
+  out = mem_[addr];
+  return true;
+}
+
+bool Machine::write_u8(std::uint64_t addr, std::uint8_t v) noexcept {
+  if (addr < kNullPageSize || addr >= mem_.size()) return false;
+  mem_[addr] = v;
+  return true;
+}
+
+bool Machine::read_u64(std::uint64_t addr, std::uint64_t& out) const noexcept {
+  // addr near 2^64 (a negative guest pointer) must not wrap past the check.
+  if (addr < kNullPageSize || addr >= mem_.size() || mem_.size() - addr < 8)
+    return false;
+  std::memcpy(&out, mem_.data() + addr, 8);
+  return true;
+}
+
+bool Machine::write_u64(std::uint64_t addr, std::uint64_t v) noexcept {
+  if (addr < kNullPageSize || addr >= mem_.size() || mem_.size() - addr < 8)
+    return false;
+  std::memcpy(mem_.data() + addr, &v, 8);
+  return true;
+}
+
+bool Machine::read_bytes(std::uint64_t addr, void* out, std::size_t n) const noexcept {
+  if (n == 0) return true;
+  if (addr < kNullPageSize || addr >= mem_.size() || mem_.size() - addr < n)
+    return false;
+  std::memcpy(out, mem_.data() + addr, n);
+  return true;
+}
+
+bool Machine::write_bytes(std::uint64_t addr, const void* data, std::size_t n) noexcept {
+  if (n == 0) return true;
+  if (addr < kNullPageSize || addr >= mem_.size() || mem_.size() - addr < n)
+    return false;
+  std::memcpy(mem_.data() + addr, data, n);
+  return true;
+}
+
+bool Machine::read_cstr(std::uint64_t addr, std::string& out,
+                        std::size_t max_len) const noexcept {
+  out.clear();
+  for (std::size_t i = 0; i < max_len; ++i) {
+    std::uint8_t b;
+    if (!read_u8(addr + i, b)) return false;
+    if (b == 0) return true;
+    out.push_back(static_cast<char>(b));
+  }
+  return false;  // unterminated
+}
+
+bool Machine::in_code(std::uint64_t addr) const noexcept {
+  for (const auto& r : code_ranges_) {
+    if (addr >= r.lo && addr + kInstrSize <= r.hi) return true;
+  }
+  return false;
+}
+
+void Machine::set_coverage(bool enabled) {
+  coverage_ = enabled;
+  if (enabled && covered_.empty()) covered_.resize(mem_.size() / kInstrSize, false);
+}
+
+void Machine::clear_coverage() {
+  executed_.clear();
+  std::fill(covered_.begin(), covered_.end(), false);
+}
+
+RunResult Machine::call(std::uint64_t addr, const std::vector<std::int64_t>& args,
+                        std::uint64_t cycle_budget) {
+  // Fresh frame at the top of the stack region with the sentinel as the
+  // return address; a RET from the callee then ends the run cleanly.
+  std::int64_t saved_regs[isa::kNumRegs];
+  std::memcpy(saved_regs, regs_, sizeof regs_);
+
+  regs_[isa::kRegSp] = static_cast<std::int64_t>(stack_hi_);
+  regs_[isa::kRegFp] = static_cast<std::int64_t>(stack_hi_);
+  for (std::size_t i = 0; i < args.size() && i < isa::kNumArgRegs; ++i) {
+    regs_[isa::kRegArg0 + i] = args[i];
+  }
+  // Push sentinel return address.
+  regs_[isa::kRegSp] -= 8;
+  if (!write_u64(static_cast<std::uint64_t>(regs_[isa::kRegSp]), kReturnSentinel)) {
+    std::memcpy(regs_, saved_regs, sizeof regs_);
+    return {Trap::kStackFault, 0, addr, 0};
+  }
+
+  RunResult res = execute(addr, cycle_budget);
+  res.ret = regs_[isa::kRegRet];
+  std::memcpy(regs_, saved_regs, sizeof regs_);
+  return res;
+}
+
+RunResult Machine::run(std::uint64_t pc, std::uint64_t cycle_budget) {
+  RunResult res = execute(pc, cycle_budget);
+  res.ret = regs_[isa::kRegRet];
+  return res;
+}
+
+RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
+  std::uint64_t cycles = 0;
+  auto stop = [&](Trap t) {
+    total_cycles_ += cycles;
+    return RunResult{t, cycles, pc, 0};
+  };
+
+  while (true) {
+    if (cycles >= cycle_budget) return stop(Trap::kCycleLimit);
+    if (!in_code(pc) || pc % kInstrSize != 0) return stop(Trap::kBadJump);
+
+    if (coverage_) {
+      const std::size_t idx = pc / kInstrSize;
+      if (!covered_[idx]) {
+        covered_[idx] = true;
+        executed_.push_back(pc);
+      }
+    }
+
+    const auto decoded = isa::decode(mem_.data() + pc);
+    if (!decoded) return stop(Trap::kBadOpcode);
+    const Instr in = *decoded;
+    std::uint64_t next = pc + kInstrSize;
+    std::uint64_t cost = 1;
+
+    auto& R = regs_;
+    const auto imm = static_cast<std::int64_t>(in.imm);
+
+    switch (in.op) {
+      case Op::kNop:
+        break;
+      case Op::kHalt:
+        ++cycles;
+        total_cycles_ += cycles;
+        return RunResult{Trap::kHalt, cycles, pc, 0};
+      case Op::kMovI:
+        R[in.rd] = imm;
+        break;
+      case Op::kMov:
+        R[in.rd] = R[in.rs1];
+        break;
+      case Op::kLd: {
+        std::uint64_t v;
+        if (!read_u64(static_cast<std::uint64_t>(R[in.rs1] + imm), v))
+          return stop(Trap::kBadMemory);
+        R[in.rd] = static_cast<std::int64_t>(v);
+        cost = 2;
+        break;
+      }
+      case Op::kSt:
+        if (!write_u64(static_cast<std::uint64_t>(R[in.rs1] + imm),
+                       static_cast<std::uint64_t>(R[in.rs2])))
+          return stop(Trap::kBadMemory);
+        cost = 2;
+        break;
+      case Op::kLdB: {
+        std::uint8_t v;
+        if (!read_u8(static_cast<std::uint64_t>(R[in.rs1] + imm), v))
+          return stop(Trap::kBadMemory);
+        R[in.rd] = v;
+        cost = 2;
+        break;
+      }
+      case Op::kStB:
+        if (!write_u8(static_cast<std::uint64_t>(R[in.rs1] + imm),
+                      static_cast<std::uint8_t>(R[in.rs2])))
+          return stop(Trap::kBadMemory);
+        cost = 2;
+        break;
+      case Op::kAdd: R[in.rd] = R[in.rs1] + R[in.rs2]; break;
+      case Op::kSub: R[in.rd] = R[in.rs1] - R[in.rs2]; break;
+      case Op::kMul: R[in.rd] = R[in.rs1] * R[in.rs2]; cost = 3; break;
+      case Op::kDiv:
+        if (R[in.rs2] == 0) return stop(Trap::kDivZero);
+        R[in.rd] = R[in.rs1] / R[in.rs2];
+        cost = 10;
+        break;
+      case Op::kMod:
+        if (R[in.rs2] == 0) return stop(Trap::kDivZero);
+        R[in.rd] = R[in.rs1] % R[in.rs2];
+        cost = 10;
+        break;
+      case Op::kAnd: R[in.rd] = R[in.rs1] & R[in.rs2]; break;
+      case Op::kOr: R[in.rd] = R[in.rs1] | R[in.rs2]; break;
+      case Op::kXor: R[in.rd] = R[in.rs1] ^ R[in.rs2]; break;
+      case Op::kShl:
+        R[in.rd] = static_cast<std::int64_t>(static_cast<std::uint64_t>(R[in.rs1])
+                                             << (R[in.rs2] & 63));
+        break;
+      case Op::kShr:
+        R[in.rd] = static_cast<std::int64_t>(static_cast<std::uint64_t>(R[in.rs1]) >>
+                                             (R[in.rs2] & 63));
+        break;
+      case Op::kAddI: R[in.rd] = R[in.rs1] + imm; break;
+      case Op::kNot: R[in.rd] = ~R[in.rs1]; break;
+      case Op::kNeg: R[in.rd] = -R[in.rs1]; break;
+      case Op::kCmp:
+        flags_ = R[in.rs1] < R[in.rs2] ? -1 : (R[in.rs1] > R[in.rs2] ? 1 : 0);
+        break;
+      case Op::kCmpI:
+        flags_ = R[in.rs1] < imm ? -1 : (R[in.rs1] > imm ? 1 : 0);
+        break;
+      case Op::kJmp: next = static_cast<std::uint64_t>(imm); break;
+      case Op::kJz: if (flags_ == 0) next = static_cast<std::uint64_t>(imm); break;
+      case Op::kJnz: if (flags_ != 0) next = static_cast<std::uint64_t>(imm); break;
+      case Op::kJlt: if (flags_ < 0) next = static_cast<std::uint64_t>(imm); break;
+      case Op::kJle: if (flags_ <= 0) next = static_cast<std::uint64_t>(imm); break;
+      case Op::kJgt: if (flags_ > 0) next = static_cast<std::uint64_t>(imm); break;
+      case Op::kJge: if (flags_ >= 0) next = static_cast<std::uint64_t>(imm); break;
+      case Op::kCall:
+      case Op::kCallR: {
+        const std::uint64_t target = in.op == Op::kCall
+                                         ? static_cast<std::uint64_t>(imm)
+                                         : static_cast<std::uint64_t>(R[in.rs1]);
+        const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]) - 8;
+        if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+        if (!write_u64(sp, next)) return stop(Trap::kBadMemory);
+        R[isa::kRegSp] = static_cast<std::int64_t>(sp);
+        next = target;
+        cost = 2;
+        break;
+      }
+      case Op::kRet: {
+        const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]);
+        if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+        std::uint64_t ra;
+        if (!read_u64(sp, ra)) return stop(Trap::kBadMemory);
+        R[isa::kRegSp] = static_cast<std::int64_t>(sp + 8);
+        if (ra == kReturnSentinel) {
+          ++cycles;
+          total_cycles_ += cycles;
+          return RunResult{Trap::kHalt, cycles, pc, 0};
+        }
+        next = ra;
+        cost = 2;
+        break;
+      }
+      case Op::kPush: {
+        const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]) - 8;
+        if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+        if (!write_u64(sp, static_cast<std::uint64_t>(R[in.rs1])))
+          return stop(Trap::kBadMemory);
+        R[isa::kRegSp] = static_cast<std::int64_t>(sp);
+        cost = 2;
+        break;
+      }
+      case Op::kPop: {
+        const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]);
+        if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+        std::uint64_t v;
+        if (!read_u64(sp, v)) return stop(Trap::kBadMemory);
+        R[in.rd] = static_cast<std::int64_t>(v);
+        R[isa::kRegSp] = static_cast<std::int64_t>(sp + 8);
+        cost = 2;
+        break;
+      }
+      case Op::kSys: {
+        if (!syscall_) return stop(Trap::kBadOpcode);
+        const Trap t = syscall_(*this, in.imm);
+        if (t != Trap::kNone) {
+          cycles += 20;
+          total_cycles_ += cycles;
+          return RunResult{t, cycles, pc, 0};
+        }
+        cost = 20;
+        break;
+      }
+      case Op::kOpCount_:
+        return stop(Trap::kBadOpcode);
+    }
+
+    cycles += cost;
+    pc = next;
+  }
+}
+
+}  // namespace gf::vm

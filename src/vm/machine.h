@@ -1,0 +1,136 @@
+// The VISA virtual machine.
+//
+// The Machine executes (possibly mutated) code with *full containment*:
+// every memory access is bounds-checked, the first page is left unmapped so
+// null-pointer dereferences trap, control transfers are validated, and a
+// cycle budget turns infinite loops into kCycleLimit traps. This is what
+// lets the benchmark harness classify fault consequences (wrong result /
+// crash / hang) instead of crashing the host process.
+//
+// A simple cycle cost model (memory ops and mul/div cost more, syscalls a
+// lot more) feeds the performance simulation: response times in the
+// SPECWeb-like client are derived from cycles consumed by OS API calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "isa/isa.h"
+
+namespace gf::vm {
+
+enum class Trap : std::uint8_t {
+  kNone = 0,     ///< still running (internal)
+  kHalt,         ///< HALT executed or top-level RET reached
+  kBadMemory,    ///< out-of-range or null-page access
+  kBadOpcode,    ///< undecodable instruction (e.g. mutated into garbage)
+  kBadJump,      ///< control transfer outside loaded code
+  kDivZero,      ///< DIV/MOD by zero
+  kCycleLimit,   ///< cycle budget exhausted (hang)
+  kStackFault,   ///< push/pop outside the stack region
+};
+
+const char* trap_name(Trap t) noexcept;
+
+/// Outcome of one run/call.
+struct RunResult {
+  Trap trap = Trap::kNone;
+  std::uint64_t cycles = 0;     ///< cycles consumed by this run
+  std::uint64_t pc = 0;         ///< pc at stop
+  std::int64_t ret = 0;         ///< r0 at stop (function return value)
+  bool ok() const noexcept { return trap == Trap::kHalt; }
+};
+
+class Machine;
+
+/// Kernel intrinsics (SYS instruction) are dispatched to this callback.
+/// Arguments are in r1.., result goes to r0. Returning a trap aborts the run.
+using SyscallHandler = std::function<Trap(Machine&, std::int32_t number)>;
+
+class Machine {
+ public:
+  /// `mem_size` is the flat physical memory size. The first kNullPageSize
+  /// bytes are unmapped (null-deref detection).
+  explicit Machine(std::size_t mem_size = kDefaultMemSize);
+
+  static constexpr std::size_t kDefaultMemSize = 8u << 20;  // 8 MiB
+  static constexpr std::uint64_t kNullPageSize = 0x1000;
+  /// Sentinel return address: a top-level RET to this address ends the run.
+  static constexpr std::uint64_t kReturnSentinel = 0xFFFFFFFFFFFF0000ULL;
+
+  // --- setup -------------------------------------------------------------
+  /// Copies an image's code into memory at its base address and remembers
+  /// the executable range (jumps outside any loaded image trap).
+  void load_image(const isa::Image& img);
+
+  /// Replaces the bytes of an already-loaded image (after mutation). The
+  /// image must cover the same address range.
+  void reload_code(const isa::Image& img);
+
+  void set_syscall_handler(SyscallHandler handler) { syscall_ = std::move(handler); }
+
+  /// [lo, hi) range PUSH/POP must stay within; also used to position sp.
+  void set_stack_region(std::uint64_t lo, std::uint64_t hi);
+
+  // --- register / memory access (also used by syscall handlers) ----------
+  std::int64_t reg(int r) const noexcept { return regs_[r]; }
+  void set_reg(int r, std::int64_t v) noexcept { regs_[r] = v; }
+
+  std::size_t mem_size() const noexcept { return mem_.size(); }
+  /// Checked accessors; return false / trap on range errors.
+  bool read_u8(std::uint64_t addr, std::uint8_t& out) const noexcept;
+  bool write_u8(std::uint64_t addr, std::uint8_t v) noexcept;
+  bool read_u64(std::uint64_t addr, std::uint64_t& out) const noexcept;
+  bool write_u64(std::uint64_t addr, std::uint64_t v) noexcept;
+  /// Bulk helpers for syscall handlers; false when any byte is unmapped.
+  bool read_bytes(std::uint64_t addr, void* out, std::size_t n) const noexcept;
+  bool write_bytes(std::uint64_t addr, const void* data, std::size_t n) noexcept;
+  /// Reads a NUL-terminated byte string (bounded by max_len); false on fault.
+  bool read_cstr(std::uint64_t addr, std::string& out,
+                 std::size_t max_len = 4096) const noexcept;
+
+  // --- execution ----------------------------------------------------------
+  /// Calls the function at `addr` with up to 6 integer arguments, using a
+  /// fresh stack frame at the top of the stack region. Returns when the
+  /// function returns (RET to sentinel), or on trap / budget exhaustion.
+  RunResult call(std::uint64_t addr, const std::vector<std::int64_t>& args,
+                 std::uint64_t cycle_budget);
+
+  /// Raw run from `pc` until HALT/trap/budget (used by tests/examples).
+  RunResult run(std::uint64_t pc, std::uint64_t cycle_budget);
+
+  /// Total cycles consumed over the machine's lifetime.
+  std::uint64_t total_cycles() const noexcept { return total_cycles_; }
+
+  /// Optional per-instruction coverage recording (for fault-activation
+  /// measurements): when enabled, executed_pcs() reports distinct executed
+  /// instruction addresses within loaded code.
+  void set_coverage(bool enabled);
+  const std::vector<std::uint64_t>& executed_pcs() const noexcept { return executed_; }
+  void clear_coverage();
+
+ private:
+  struct CodeRange {
+    std::uint64_t lo, hi;
+  };
+
+  bool in_code(std::uint64_t addr) const noexcept;
+  RunResult execute(std::uint64_t pc, std::uint64_t cycle_budget);
+
+  std::vector<std::uint8_t> mem_;
+  std::int64_t regs_[isa::kNumRegs] = {};
+  int flags_ = 0;  ///< sign of last comparison: -1, 0, +1
+  std::vector<CodeRange> code_ranges_;
+  std::uint64_t stack_lo_ = 0, stack_hi_ = 0;
+  SyscallHandler syscall_;
+  std::uint64_t total_cycles_ = 0;
+
+  bool coverage_ = false;
+  std::vector<std::uint64_t> executed_;
+  std::vector<bool> covered_;  // indexed by addr / kInstrSize
+};
+
+}  // namespace gf::vm

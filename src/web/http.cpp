@@ -1,0 +1,37 @@
+#include "web/http.h"
+
+namespace gf::web {
+
+std::uint64_t path_seed(const std::string& path) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : path) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint8_t expected_content_byte(std::uint64_t seed, std::size_t i) noexcept {
+  return static_cast<std::uint8_t>(seed + i * 31);
+}
+
+std::uint8_t dynamic_transform(std::uint8_t b) noexcept {
+  return static_cast<std::uint8_t>(b ^ 0x5A);
+}
+
+std::vector<std::uint8_t> expected_body(const std::string& path, std::size_t size,
+                                        bool dynamic) {
+  const auto seed = path_seed(path);
+  std::vector<std::uint8_t> out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out[i] = expected_content_byte(seed, i);
+    if (dynamic) out[i] = dynamic_transform(out[i]);
+  }
+  return out;
+}
+
+const char* method_name(Method m) noexcept {
+  return m == Method::kGet ? "GET" : "POST";
+}
+
+}  // namespace gf::web

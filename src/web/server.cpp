@@ -1,0 +1,86 @@
+#include "web/server.h"
+
+#include <stdexcept>
+
+namespace gf::web {
+
+const char* server_state_name(ServerState s) noexcept {
+  switch (s) {
+    case ServerState::kStopped: return "stopped";
+    case ServerState::kRunning: return "running";
+    case ServerState::kCrashed: return "crashed";
+    case ServerState::kHung: return "hung";
+    case ServerState::kSpinning: return "spinning";
+  }
+  return "?";
+}
+
+bool WebServer::start() {
+  stats_ = {};
+  state_ = ServerState::kStopped;
+  try {
+    if (!do_start()) return false;
+  } catch (const ApiHang&) {
+    return false;
+  } catch (const ServerDeath&) {
+    return false;
+  } catch (const ServerSpin&) {
+    return false;
+  }
+  state_ = ServerState::kRunning;
+  return true;
+}
+
+void WebServer::stop() {
+  if (state_ != ServerState::kStopped) {
+    try {
+      do_stop();
+    } catch (const ApiHang&) {
+      // Shutdown is best effort; a hung teardown call is abandoned.
+    } catch (const ServerDeath&) {
+    } catch (const ServerSpin&) {
+    }
+  }
+  state_ = ServerState::kStopped;
+}
+
+Response WebServer::handle(const Request& req) {
+  if (state_ != ServerState::kRunning) {
+    return Response{503, {}};
+  }
+  ++stats_.requests;
+  const auto cycles_before = api_.total_cycles();
+  Response resp{500, {}};
+  try {
+    resp = do_handle(req);
+  } catch (const ApiHang&) {
+    state_ = ServerState::kHung;
+    resp = Response{0, {}};  // never answered
+  } catch (const ServerDeath&) {
+    state_ = ServerState::kCrashed;
+    ++stats_.crashes;
+    resp = Response{0, {}};
+  } catch (const ServerSpin&) {
+    state_ = ServerState::kSpinning;
+    resp = Response{0, {}};
+  }
+  last_cycles_ = api_.total_cycles() - cycles_before;
+  if (resp.status == 200) {
+    ++stats_.ok;
+  } else {
+    ++stats_.errors;
+  }
+  return resp;
+}
+
+bool WebServer::try_self_restart() {
+  if (!has_self_restart()) return false;
+  const auto saved = stats_;
+  stop();
+  const bool up = start();
+  stats_ = saved;  // restarting does not erase history
+  if (up) ++stats_.self_restarts;
+  return up;
+}
+
+}  // namespace gf::web

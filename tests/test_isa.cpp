@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+#include "isa/image.h"
+#include "isa/isa.h"
+
+namespace gf::isa {
+namespace {
+
+TEST(Encoding, RoundTripAllOpcodes) {
+  for (int op = 0; op < static_cast<int>(Op::kOpCount_); ++op) {
+    Instr in;
+    in.op = static_cast<Op>(op);
+    in.rd = 3;
+    in.rs1 = 15;
+    in.rs2 = 7;
+    in.imm = -123456;
+    std::uint8_t buf[kInstrSize];
+    encode(in, buf);
+    const auto back = decode(buf);
+    ASSERT_TRUE(back.has_value()) << op_name(in.op);
+    EXPECT_EQ(*back, in);
+  }
+}
+
+TEST(Encoding, RejectsBadOpcode) {
+  std::uint8_t buf[kInstrSize] = {0xFF, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(decode(buf).has_value());
+}
+
+TEST(Encoding, RejectsBadRegister) {
+  Instr in;
+  in.op = Op::kMov;
+  std::uint8_t buf[kInstrSize];
+  encode(in, buf);
+  buf[1] = 16;  // register out of range
+  EXPECT_FALSE(decode(buf).has_value());
+}
+
+TEST(Encoding, ImmediateSignPreserved) {
+  Instr in;
+  in.op = Op::kMovI;
+  in.imm = -1;
+  std::uint8_t buf[kInstrSize];
+  encode(in, buf);
+  EXPECT_EQ(decode(buf)->imm, -1);
+}
+
+TEST(Predicates, BranchClassification) {
+  EXPECT_TRUE(is_branch(Op::kJz));
+  EXPECT_TRUE(is_branch(Op::kJge));
+  EXPECT_FALSE(is_branch(Op::kJmp));
+  EXPECT_FALSE(is_branch(Op::kCall));
+  EXPECT_TRUE(is_jump(Op::kJmp));
+  EXPECT_TRUE(is_jump(Op::kRet));
+  EXPECT_FALSE(is_jump(Op::kAdd));
+}
+
+TEST(Predicates, InvertBranchIsInvolution) {
+  for (Op op : {Op::kJz, Op::kJnz, Op::kJlt, Op::kJle, Op::kJgt, Op::kJge}) {
+    EXPECT_NE(invert_branch(op), op);
+    EXPECT_EQ(invert_branch(invert_branch(op)), op);
+  }
+}
+
+TEST(Predicates, DestReg) {
+  Instr ld{Op::kLd, 5, 15, 0, -8};
+  EXPECT_EQ(dest_reg(ld), 5);
+  Instr st{Op::kSt, 0, 15, 3, -8};
+  EXPECT_FALSE(dest_reg(st).has_value());
+  Instr add{Op::kAdd, 2, 3, 4, 0};
+  EXPECT_EQ(dest_reg(add), 2);
+}
+
+TEST(Predicates, ReadsReg) {
+  Instr st{Op::kSt, 0, 15, 3, -8};
+  EXPECT_TRUE(reads_reg(st, 15));
+  EXPECT_TRUE(reads_reg(st, 3));
+  EXPECT_FALSE(reads_reg(st, 0));
+  Instr movi{Op::kMovI, 0, 0, 0, 7};
+  EXPECT_FALSE(reads_reg(movi, 0));
+}
+
+TEST(Image, AppendAndFetch) {
+  Image img("m", 0x1000);
+  const auto a0 = img.append({Op::kMovI, 0, 0, 0, 42});
+  const auto a1 = img.append({Op::kRet, 0, 0, 0, 0});
+  EXPECT_EQ(a0, 0x1000u);
+  EXPECT_EQ(a1, 0x1008u);
+  EXPECT_EQ(img.at(a0)->imm, 42);
+  EXPECT_EQ(img.at(a1)->op, Op::kRet);
+  EXPECT_FALSE(img.at(0x1004).has_value());  // misaligned
+  EXPECT_FALSE(img.at(0x999).has_value());   // out of range
+}
+
+TEST(Image, PatchChangesDigest) {
+  Image img("m", 0x1000);
+  img.append({Op::kMovI, 0, 0, 0, 42});
+  const auto d0 = img.code_digest();
+  ASSERT_TRUE(img.patch(0x1000, {Op::kNop, 0, 0, 0, 0}));
+  EXPECT_NE(img.code_digest(), d0);
+  EXPECT_EQ(img.at(0x1000)->op, Op::kNop);
+}
+
+TEST(Image, SymbolLookup) {
+  Image img("m", 0);
+  img.append({Op::kNop, 0, 0, 0, 0});
+  img.append({Op::kRet, 0, 0, 0, 0});
+  img.add_symbol({"f", 0, 16});
+  EXPECT_EQ(img.find_symbol("f")->size, 16u);
+  EXPECT_EQ(img.find_symbol("g"), nullptr);
+  EXPECT_EQ(img.symbol_at(8)->name, "f");
+  EXPECT_EQ(img.symbol_at(16), nullptr);
+}
+
+TEST(Assembler, BasicProgram) {
+  const auto img = assemble(R"(
+    main:
+      movi r1, 10
+      movi r2, 32
+      add  r0, r1, r2
+      ret
+  )");
+  EXPECT_EQ(img.instr_count(), 4u);
+  ASSERT_NE(img.find_symbol("main"), nullptr);
+  const auto add = img.at(img.base() + 2 * kInstrSize);
+  EXPECT_EQ(add->op, Op::kAdd);
+  EXPECT_EQ(add->rs1, 1);
+  EXPECT_EQ(add->rs2, 2);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const auto img = assemble(R"(
+    start:
+      jmp @end
+    mid:
+      nop
+      jmp @start
+    end:
+      halt
+  )");
+  const auto jmp0 = img.at(img.base());
+  EXPECT_EQ(static_cast<std::uint64_t>(jmp0->imm), img.find_symbol("end")->addr);
+  const auto jmp1 = img.at(img.base() + 2 * kInstrSize);
+  EXPECT_EQ(static_cast<std::uint64_t>(jmp1->imm), img.base());
+}
+
+TEST(Assembler, MemoryOperands) {
+  const auto img = assemble(R"(
+    f:
+      ld r0, [fp, -8]
+      st [fp, -16], r0
+      ldb r1, [r2]
+  )");
+  const auto ld = img.at(img.base());
+  EXPECT_EQ(ld->op, Op::kLd);
+  EXPECT_EQ(ld->rs1, kRegFp);
+  EXPECT_EQ(ld->imm, -8);
+  const auto st = img.at(img.base() + kInstrSize);
+  EXPECT_EQ(st->rs2, 0);
+  EXPECT_EQ(st->imm, -16);
+  const auto ldb = img.at(img.base() + 2 * kInstrSize);
+  EXPECT_EQ(ldb->imm, 0);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto img = assemble("; file comment\n\n f: ; trailing\n   nop ; inline\n");
+  EXPECT_EQ(img.instr_count(), 1u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(assemble("f:\n  bogus r0\n"), AsmError);
+  EXPECT_THROW(assemble("  movi r99, 1\n"), AsmError);
+  EXPECT_THROW(assemble("  jmp @missing\n"), AsmError);
+  EXPECT_THROW(assemble("f:\nf:\n  nop\n"), AsmError);
+  EXPECT_THROW(assemble("  movi r0\n"), AsmError);
+}
+
+TEST(Disassembler, RoundTripThroughAssembler) {
+  const char* src = R"(
+    f:
+      movi r1, -5
+      addi sp, sp, -16
+      ld r0, [fp, -8]
+      st [fp, -8], r1
+      cmp r0, r1
+      jlt 4096
+      call 4096
+      push r3
+      pop r4
+      sys 7
+      ret
+  )";
+  const auto img = assemble(src, "a", 0x1000);
+  // Disassemble each instruction and re-assemble; encodings must match.
+  for (std::uint64_t a = img.base(); a < img.end(); a += kInstrSize) {
+    const auto in = img.at(a);
+    ASSERT_TRUE(in.has_value());
+    const std::string text = "x:\n  " + disassemble(*in) + "\n";
+    const auto img2 = assemble(text, "b", a);  // same base so jumps match
+    EXPECT_EQ(*img2.at(a), *in) << disassemble(*in);
+  }
+}
+
+TEST(Disassembler, ImageListingHasSymbols) {
+  const auto img = assemble("main:\n  nop\nhelper:\n  ret\n");
+  const auto text = disassemble(img);
+  EXPECT_NE(text.find("main:"), std::string::npos);
+  EXPECT_NE(text.find("helper:"), std::string::npos);
+  EXPECT_NE(text.find("nop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gf::isa

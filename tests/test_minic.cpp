@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include "isa/disassembler.h"
+#include "minic/compiler.h"
+#include "minic/lexer.h"
+#include "vm/machine.h"
+
+namespace gf::minic {
+namespace {
+
+/// Compiles `src`, runs function `fn` with `args`, returns r0.
+std::int64_t run(const std::string& src, const std::string& fn,
+                 const std::vector<std::int64_t>& args = {},
+                 std::uint64_t budget = 1u << 20) {
+  const auto img = compile(src, "test", 0x1000);
+  vm::Machine m;
+  m.load_image(img);
+  const auto* sym = img.find_symbol(fn);
+  if (sym == nullptr) throw std::runtime_error("no such function: " + fn);
+  const auto r = m.call(sym->addr, args, budget);
+  if (!r.ok()) {
+    throw std::runtime_error(std::string("trap: ") + vm::trap_name(r.trap));
+  }
+  return r.ret;
+}
+
+TEST(MiniC, ReturnConstant) {
+  EXPECT_EQ(run("fn f() { return 42; }", "f"), 42);
+}
+
+TEST(MiniC, Parameters) {
+  EXPECT_EQ(run("fn f(a, b) { return a - b; }", "f", {50, 8}), 42);
+}
+
+TEST(MiniC, SixParameters) {
+  EXPECT_EQ(run("fn f(a,b,c,d,e,g) { return a+b+c+d+e+g; }", "f",
+                {1, 2, 3, 4, 5, 27}),
+            42);
+}
+
+TEST(MiniC, LocalVariables) {
+  EXPECT_EQ(run("fn f() { var x = 40; var y = 2; return x + y; }", "f"), 42);
+}
+
+TEST(MiniC, UninitializedVarThenAssigned) {
+  EXPECT_EQ(run("fn f() { var x; x = 42; return x; }", "f"), 42);
+}
+
+TEST(MiniC, ArithmeticPrecedence) {
+  EXPECT_EQ(run("fn f() { return 2 + 4 * 10; }", "f"), 42);
+  EXPECT_EQ(run("fn f() { return (2 + 4) * 7; }", "f"), 42);
+  EXPECT_EQ(run("fn f() { return 100 - 60 + 2; }", "f"), 42);
+  EXPECT_EQ(run("fn f() { return 85 / 2; }", "f"), 42);
+  EXPECT_EQ(run("fn f() { return 142 % 100; }", "f"), 42);
+}
+
+TEST(MiniC, BitwiseOps) {
+  EXPECT_EQ(run("fn f() { return 0xff & 0x2a; }", "f"), 42);
+  EXPECT_EQ(run("fn f() { return 0x28 | 2; }", "f"), 42);
+  EXPECT_EQ(run("fn f() { return 0x6a ^ 0x40; }", "f"), 42);
+  EXPECT_EQ(run("fn f() { return 21 << 1; }", "f"), 42);
+  EXPECT_EQ(run("fn f() { return 84 >> 1; }", "f"), 42);
+  EXPECT_EQ(run("fn f() { return ~(-43); }", "f"), 42);
+}
+
+TEST(MiniC, UnaryOps) {
+  EXPECT_EQ(run("fn f(a) { return -a; }", "f", {-42}), 42);
+  EXPECT_EQ(run("fn f(a) { return !a; }", "f", {0}), 1);
+  EXPECT_EQ(run("fn f(a) { return !a; }", "f", {7}), 0);
+}
+
+TEST(MiniC, Comparisons) {
+  EXPECT_EQ(run("fn f(a,b) { return a < b; }", "f", {1, 2}), 1);
+  EXPECT_EQ(run("fn f(a,b) { return a < b; }", "f", {2, 2}), 0);
+  EXPECT_EQ(run("fn f(a,b) { return a <= b; }", "f", {2, 2}), 1);
+  EXPECT_EQ(run("fn f(a,b) { return a > b; }", "f", {3, 2}), 1);
+  EXPECT_EQ(run("fn f(a,b) { return a >= b; }", "f", {1, 2}), 0);
+  EXPECT_EQ(run("fn f(a,b) { return a == b; }", "f", {5, 5}), 1);
+  EXPECT_EQ(run("fn f(a,b) { return a != b; }", "f", {5, 5}), 0);
+}
+
+TEST(MiniC, IfElse) {
+  const char* src = "fn f(a) { if (a > 10) { return 1; } else { return 2; } }";
+  EXPECT_EQ(run(src, "f", {11}), 1);
+  EXPECT_EQ(run(src, "f", {10}), 2);
+}
+
+TEST(MiniC, IfWithoutElse) {
+  const char* src = "fn f(a) { var r = 0; if (a == 3) { r = 42; } return r; }";
+  EXPECT_EQ(run(src, "f", {3}), 42);
+  EXPECT_EQ(run(src, "f", {4}), 0);
+}
+
+TEST(MiniC, ElseIfChain) {
+  const char* src = R"(
+    fn f(a) {
+      if (a == 1) { return 10; }
+      else if (a == 2) { return 20; }
+      else { return 30; }
+    }
+  )";
+  EXPECT_EQ(run(src, "f", {1}), 10);
+  EXPECT_EQ(run(src, "f", {2}), 20);
+  EXPECT_EQ(run(src, "f", {9}), 30);
+}
+
+TEST(MiniC, ShortCircuitAnd) {
+  // The second clause would trap (div by zero) if evaluated.
+  const char* src = "fn f(a) { if (a != 0 && 10 / a > 2) { return 1; } return 0; }";
+  EXPECT_EQ(run(src, "f", {0}), 0);
+  EXPECT_EQ(run(src, "f", {3}), 1);
+  EXPECT_EQ(run(src, "f", {9}), 0);
+}
+
+TEST(MiniC, ShortCircuitOr) {
+  const char* src = "fn f(a) { if (a == 0 || 10 / a > 2) { return 1; } return 0; }";
+  EXPECT_EQ(run(src, "f", {0}), 1);
+  EXPECT_EQ(run(src, "f", {3}), 1);
+  EXPECT_EQ(run(src, "f", {9}), 0);
+}
+
+TEST(MiniC, LogicalAsValue) {
+  EXPECT_EQ(run("fn f(a,b) { return a && b; }", "f", {3, 4}), 1);
+  EXPECT_EQ(run("fn f(a,b) { return a && b; }", "f", {3, 0}), 0);
+  EXPECT_EQ(run("fn f(a,b) { return a || b; }", "f", {0, 0}), 0);
+  EXPECT_EQ(run("fn f(a,b) { return a || b; }", "f", {0, 9}), 1);
+}
+
+TEST(MiniC, ComplexCondition) {
+  const char* src =
+      "fn f(a,b,c) { if ((a < b && b < c) || c == 0) { return 1; } return 0; }";
+  EXPECT_EQ(run(src, "f", {1, 2, 3}), 1);
+  EXPECT_EQ(run(src, "f", {3, 2, 1}), 0);
+  EXPECT_EQ(run(src, "f", {3, 2, 0}), 1);
+}
+
+TEST(MiniC, WhileLoop) {
+  const char* src = R"(
+    fn f(n) {
+      var sum = 0;
+      var i = 1;
+      while (i <= n) {
+        sum = sum + i;
+        i = i + 1;
+      }
+      return sum;
+    }
+  )";
+  EXPECT_EQ(run(src, "f", {10}), 55);
+  EXPECT_EQ(run(src, "f", {0}), 0);
+}
+
+TEST(MiniC, BreakAndContinue) {
+  const char* src = R"(
+    fn f() {
+      var sum = 0;
+      var i = 0;
+      while (1) {
+        i = i + 1;
+        if (i > 100) { break; }
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;   // odd numbers 1..99
+      }
+      return sum;
+    }
+  )";
+  EXPECT_EQ(run(src, "f"), 2500);
+}
+
+TEST(MiniC, NestedLoops) {
+  const char* src = R"(
+    fn f(n) {
+      var total = 0;
+      var i = 0;
+      while (i < n) {
+        var j = 0;
+        j = 0;
+        while (j < n) {
+          total = total + 1;
+          j = j + 1;
+        }
+        i = i + 1;
+      }
+      return total;
+    }
+  )";
+  EXPECT_EQ(run(src, "f", {7}), 49);
+}
+
+TEST(MiniC, FunctionCalls) {
+  const char* src = R"(
+    fn add(a, b) { return a + b; }
+    fn f() { return add(add(10, 20), 12); }
+  )";
+  EXPECT_EQ(run(src, "f"), 42);
+}
+
+TEST(MiniC, ForwardCalls) {
+  const char* src = R"(
+    fn f() { return later(21); }
+    fn later(x) { return x * 2; }
+  )";
+  EXPECT_EQ(run(src, "f"), 42);
+}
+
+TEST(MiniC, Recursion) {
+  const char* src = R"(
+    fn fib(n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+  )";
+  EXPECT_EQ(run(src, "fib", {10}), 55);
+}
+
+TEST(MiniC, CallArgumentsMixedComplexity) {
+  const char* src = R"(
+    fn g(a, b, c) { return a * 100 + b * 10 + c; }
+    fn f(x) { return g(x + 1, 2, g(0, 0, 3)); }
+  )";
+  EXPECT_EQ(run(src, "f", {4}), 523);
+}
+
+TEST(MiniC, Consts) {
+  const char* src = R"(
+    const BASE = 0x100;
+    const SIZE = BASE * 2;
+    fn f() { return SIZE + 2; }
+  )";
+  EXPECT_EQ(run(src, "f"), 514);
+}
+
+TEST(MiniC, LoadStoreIntrinsics) {
+  const char* src = R"(
+    const SCRATCH = 0x100000;
+    fn f(v) {
+      store(SCRATCH, v);
+      store8(SCRATCH + 8, 200);
+      return load(SCRATCH) + load8(SCRATCH + 8);
+    }
+  )";
+  EXPECT_EQ(run(src, "f", {1000}), 1200);
+}
+
+TEST(MiniC, SysIntrinsic) {
+  const auto img = compile("fn f(a) { return sys(5, a, 3); }", "t", 0x1000);
+  vm::Machine m;
+  m.load_image(img);
+  m.set_syscall_handler([](vm::Machine& mm, std::int32_t num) {
+    EXPECT_EQ(num, 5);
+    mm.set_reg(0, mm.reg(1) * mm.reg(2));
+    return vm::Trap::kNone;
+  });
+  EXPECT_EQ(m.call(img.find_symbol("f")->addr, {14}, 1000).ret, 42);
+}
+
+TEST(MiniC, CharLiterals) {
+  EXPECT_EQ(run("fn f() { return 'A'; }", "f"), 65);
+  EXPECT_EQ(run("fn f() { return '\\n'; }", "f"), 10);
+  EXPECT_EQ(run("fn f() { return '\\0'; }", "f"), 0);
+}
+
+TEST(MiniC, CommentsIgnored) {
+  EXPECT_EQ(run("// lead\nfn f() { /* mid */ return 42; } // tail", "f"), 42);
+}
+
+TEST(MiniC, FallThroughReturnsZero) {
+  EXPECT_EQ(run("fn f() { var x = 9; }", "f"), 0);
+}
+
+TEST(MiniC, MultipleSourceFragments) {
+  const auto img = compile(
+      {std::string_view("fn helper(x) { return x + 2; }"),
+       std::string_view("fn f() { return helper(40); }")},
+      "t", 0x1000);
+  vm::Machine m;
+  m.load_image(img);
+  EXPECT_EQ(m.call(img.find_symbol("f")->addr, {}, 10000).ret, 42);
+}
+
+TEST(MiniC, EverySymbolHasNonEmptyCode) {
+  const auto img = compile("fn a() { return 1; } fn b(x) { return a() + x; }",
+                           "t", 0x1000);
+  for (const auto& s : img.symbols()) {
+    EXPECT_GT(s.size, 0u) << s.name;
+    EXPECT_EQ(s.size % isa::kInstrSize, 0u);
+  }
+}
+
+// --- error cases -----------------------------------------------------------
+
+TEST(MiniCErrors, UndeclaredVariable) {
+  EXPECT_THROW(compile("fn f() { return x; }", "t", 0), CompileError);
+}
+
+TEST(MiniCErrors, AssignUndeclared) {
+  EXPECT_THROW(compile("fn f() { x = 1; }", "t", 0), CompileError);
+}
+
+TEST(MiniCErrors, DuplicateVariable) {
+  EXPECT_THROW(compile("fn f() { var x = 1; var x = 2; }", "t", 0), CompileError);
+}
+
+TEST(MiniCErrors, DuplicateFunction) {
+  EXPECT_THROW(compile("fn f() { } fn f() { }", "t", 0), CompileError);
+}
+
+TEST(MiniCErrors, UnknownFunction) {
+  EXPECT_THROW(compile("fn f() { return g(); }", "t", 0), CompileError);
+}
+
+TEST(MiniCErrors, ArityMismatch) {
+  EXPECT_THROW(compile("fn g(a) { return a; } fn f() { return g(1, 2); }", "t", 0),
+               CompileError);
+}
+
+TEST(MiniCErrors, BreakOutsideLoop) {
+  EXPECT_THROW(compile("fn f() { break; }", "t", 0), CompileError);
+}
+
+TEST(MiniCErrors, TooManyParams) {
+  EXPECT_THROW(compile("fn f(a,b,c,d,e,g,h) { }", "t", 0), CompileError);
+}
+
+TEST(MiniCErrors, SysNumberMustBeConstant) {
+  EXPECT_THROW(compile("fn f(a) { return sys(a); }", "t", 0), CompileError);
+}
+
+TEST(MiniCErrors, SyntaxErrorHasLine) {
+  try {
+    compile("fn f() {\n  var 3;\n}", "t", 0);
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(MiniCErrors, ShadowingIntrinsicRejected) {
+  EXPECT_THROW(compile("fn load(a) { return a; }", "t", 0), CompileError);
+}
+
+TEST(MiniCErrors, CallInConstInitializer) {
+  EXPECT_THROW(compile("fn g() {} const X = g();", "t", 0), CompileError);
+}
+
+}  // namespace
+}  // namespace gf::minic

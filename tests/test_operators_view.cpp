@@ -1,0 +1,148 @@
+// Tests for the operator-support layer: FunctionView's program analysis
+// (jump targets, epilogue detection, local discovery) and the ScanOptions
+// knobs' directional effects on the generated faultload.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "minic/compiler.h"
+#include "os/kernel.h"
+#include "swfit/operators.h"
+#include "swfit/scanner.h"
+
+namespace gf::swfit {
+namespace {
+
+FunctionView view_of(const isa::Image& img, const std::string& fn) {
+  const auto* sym = img.find_symbol(fn);
+  EXPECT_NE(sym, nullptr);
+  return FunctionView(img, *sym);
+}
+
+TEST(FunctionView, IndexOfRespectsBoundsAndAlignment) {
+  const auto img = minic::compile("fn f(a) { return a + 1; }", "t", 0x1000);
+  const auto v = view_of(img, "f");
+  EXPECT_EQ(v.index_of(0x1000), 0u);
+  EXPECT_EQ(v.index_of(0x1008), 1u);
+  EXPECT_EQ(v.index_of(0x1004), FunctionView::npos);  // misaligned
+  EXPECT_EQ(v.index_of(0x0FF8), FunctionView::npos);  // before
+  EXPECT_EQ(v.index_of(0x1000 + v.size() * 8), FunctionView::npos);  // after
+}
+
+TEST(FunctionView, DetectsStandardEpilogue) {
+  const auto img = minic::compile("fn f(a) { return a; }", "t", 0x1000);
+  const auto v = view_of(img, "f");
+  ASSERT_NE(v.epilogue_index(), FunctionView::npos);
+  EXPECT_EQ(v.at(v.epilogue_index()).op, isa::Op::kMov);
+  EXPECT_EQ(v.at(v.size() - 1).op, isa::Op::kRet);
+}
+
+TEST(FunctionView, CountsBranchTargets) {
+  const auto img = minic::compile(R"(
+    fn f(a, b) {
+      var r = 0;
+      if (a > 0 && b > 0) { r = 1; }
+      return r;
+    }
+  )", "t", 0x1000);
+  const auto v = view_of(img, "f");
+  // The && chain makes two branches share the same join target.
+  bool found_double_target = false;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v.targets_count(i) == 2) found_double_target = true;
+  }
+  EXPECT_TRUE(found_double_target);
+}
+
+TEST(FunctionView, TargetInsideDetectsBodies) {
+  const auto img = minic::compile(R"(
+    fn f(n) {
+      var s = 0;
+      var i = 0;
+      while (i < n) { s = s + i; i = i + 1; }
+      return s;
+    }
+  )", "t", 0x1000);
+  const auto v = view_of(img, "f");
+  // The loop header is a jump target strictly inside the function.
+  EXPECT_TRUE(v.target_inside(0, v.size()));
+  EXPECT_FALSE(v.target_inside(v.size() - 2, v.size()));
+}
+
+TEST(FunctionView, LocalOffsetsAreSortedAndDistinct) {
+  const auto img = minic::compile(
+      "fn f(a, b) { var x = 1; var y = 2; return a + b + x + y; }", "t",
+      0x1000);
+  const auto v = view_of(img, "f");
+  const auto& locals = v.local_offsets();
+  ASSERT_GE(locals.size(), 4u);  // 2 params + 2 locals
+  EXPECT_TRUE(std::is_sorted(locals.begin(), locals.end()));
+  for (std::size_t i = 1; i < locals.size(); ++i) {
+    EXPECT_NE(locals[i - 1], locals[i]);
+    EXPECT_LT(locals[i], 0);
+  }
+}
+
+// --- ScanOptions directional effects ----------------------------------------
+
+int count_type(const isa::Image& img, const ScanOptions& opts, FaultType t) {
+  Scanner scanner(opts);
+  const auto fl = scanner.scan_all(img);
+  int n = 0;
+  for (const auto& f : fl.faults) n += f.type == t;
+  return n;
+}
+
+TEST(ScanOptionsEffect, MaxIfBodyGrowsIfConstructs) {
+  os::Kernel kernel(os::OsVersion::kVosXp);
+  ScanOptions tight;
+  tight.max_if_body = 1;
+  ScanOptions loose;
+  loose.max_if_body = 16;
+  EXPECT_LT(count_type(kernel.pristine_image(), tight, FaultType::kMIFS),
+            count_type(kernel.pristine_image(), loose, FaultType::kMIFS));
+}
+
+TEST(ScanOptionsEffect, BlockBoundsGateMlpc) {
+  os::Kernel kernel(os::OsVersion::kVosXp);
+  ScanOptions huge_min;
+  huge_min.min_block = 12;  // few straight-line runs are this long
+  EXPECT_LT(count_type(kernel.pristine_image(), huge_min, FaultType::kMLPC),
+            count_type(kernel.pristine_image(), {}, FaultType::kMLPC));
+}
+
+TEST(ScanOptionsEffect, IncludeSysGatesIntrinsicCallFaults) {
+  os::Kernel kernel(os::OsVersion::kVosXp);
+  ScanOptions no_sys;
+  no_sys.include_sys = false;
+  EXPECT_LE(count_type(kernel.pristine_image(), no_sys, FaultType::kMFC),
+            count_type(kernel.pristine_image(), {}, FaultType::kMFC));
+  EXPECT_LE(count_type(kernel.pristine_image(), no_sys, FaultType::kWAEP),
+            count_type(kernel.pristine_image(), {}, FaultType::kWAEP));
+}
+
+TEST(ScanOptionsEffect, CallWindowWidensParameterFaults) {
+  os::Kernel kernel(os::OsVersion::kVosXp);
+  ScanOptions tight;
+  tight.call_window = 1;
+  ScanOptions loose;
+  loose.call_window = 10;
+  const auto img = kernel.pristine_image();
+  EXPECT_LE(count_type(img, tight, FaultType::kWAEP),
+            count_type(img, loose, FaultType::kWAEP));
+  EXPECT_LE(count_type(img, tight, FaultType::kWPFV),
+            count_type(img, loose, FaultType::kWPFV));
+}
+
+TEST(OperatorLibrary, HasOneOperatorPerFaultType) {
+  const auto lib = operator_library();
+  ASSERT_EQ(lib.size(), static_cast<std::size_t>(kNumFaultTypes));
+  std::set<FaultType> seen;
+  for (const auto& op : lib) {
+    EXPECT_TRUE(seen.insert(op.type).second) << op.name;
+    EXPECT_NE(op.scan, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace gf::swfit

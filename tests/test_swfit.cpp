@@ -1,0 +1,598 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "minic/compiler.h"
+#include "os/api.h"
+#include "os/kernel.h"
+#include "swfit/field_study.h"
+#include "swfit/injector.h"
+#include "swfit/scanner.h"
+#include "vm/machine.h"
+
+namespace gf::swfit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fault model (Table 1)
+// ---------------------------------------------------------------------------
+
+TEST(FaultTypes, TableHasTwelveTypes) {
+  EXPECT_EQ(fault_type_table().size(), 12u);
+}
+
+TEST(FaultTypes, TotalCoverageMatchesPaper) {
+  EXPECT_NEAR(total_field_coverage(), 50.69, 0.01);
+}
+
+TEST(FaultTypes, ParseRoundTrip) {
+  for (const auto& info : fault_type_table()) {
+    const auto t = parse_fault_type(info.name);
+    ASSERT_TRUE(t.has_value()) << info.name;
+    EXPECT_EQ(*t, info.type);
+  }
+  EXPECT_FALSE(parse_fault_type("BOGUS").has_value());
+}
+
+TEST(FaultTypes, OdcClassesMatchPaper) {
+  EXPECT_EQ(fault_type_info(FaultType::kMVI).odc, OdcClass::kAssignment);
+  EXPECT_EQ(fault_type_info(FaultType::kMIA).odc, OdcClass::kChecking);
+  EXPECT_EQ(fault_type_info(FaultType::kMFC).odc, OdcClass::kAlgorithm);
+  EXPECT_EQ(fault_type_info(FaultType::kWAEP).odc, OdcClass::kInterface);
+  EXPECT_EQ(fault_type_info(FaultType::kWPFV).odc, OdcClass::kInterface);
+}
+
+TEST(FaultTypes, NoExtraneousTypesIncluded) {
+  for (const auto& info : fault_type_table()) {
+    EXPECT_NE(info.nature, ConstructNature::kExtraneous) << info.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Field study (Table 1 synthesis)
+// ---------------------------------------------------------------------------
+
+TEST(FieldStudy, DeterministicForSeed) {
+  const auto a = FieldStudy::generate(1000, 7);
+  const auto b = FieldStudy::generate(1000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+}
+
+TEST(FieldStudy, DistributionMatchesPublishedData) {
+  const auto records = FieldStudy::generate(200000, 42);
+  for (const auto& row : FieldStudy::tabulate(records)) {
+    const auto expected = fault_type_info(row.type).field_coverage;
+    EXPECT_NEAR(row.pct, expected, 0.5) << fault_type_name(row.type);
+  }
+  EXPECT_NEAR(FieldStudy::total_coverage(records), 50.69, 1.0);
+}
+
+TEST(FieldStudy, ExtraneousShareIsNegligible) {
+  const auto records = FieldStudy::generate(100000, 3);
+  const auto share = FieldStudy::extraneous_share(records);
+  EXPECT_GT(share, 0.0);
+  EXPECT_LT(share, 4.0);  // the paper excludes them as a very small portion
+}
+
+TEST(FieldStudy, EmptyInputsAreSafe) {
+  EXPECT_TRUE(FieldStudy::tabulate({}).empty());
+  EXPECT_EQ(FieldStudy::total_coverage({}), 0.0);
+  EXPECT_EQ(FieldStudy::extraneous_share({}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Operator semantics on compiled MiniC snippets
+// ---------------------------------------------------------------------------
+
+struct Compiled {
+  isa::Image img;
+  std::uint64_t fn_addr;
+};
+
+Compiled compile_fn(const std::string& src, const std::string& fn = "f") {
+  auto img = minic::compile(src, "t", 0x1000);
+  const auto* sym = img.find_symbol(fn);
+  EXPECT_NE(sym, nullptr);
+  return {std::move(img), sym->addr};
+}
+
+std::int64_t run_image(const isa::Image& img, std::uint64_t addr,
+                       const std::vector<std::int64_t>& args) {
+  vm::Machine m;
+  m.load_image(img);
+  const auto r = m.call(addr, args, 1u << 20);
+  EXPECT_TRUE(r.ok()) << vm::trap_name(r.trap);
+  return r.ret;
+}
+
+Faultload scan_of(const isa::Image& img) { return Scanner{}.scan_all(img); }
+
+std::vector<FaultLocation> faults_of_type(const Faultload& fl, FaultType t) {
+  std::vector<FaultLocation> out;
+  for (const auto& f : fl.faults) {
+    if (f.type == t) out.push_back(f);
+  }
+  return out;
+}
+
+TEST(Operators, MviRemovesInitialization) {
+  // x's initialization sets the return base; without it, the stale stack
+  // slot (0 on a fresh machine) is used.
+  auto c = compile_fn("fn f() { var x = 40; var y = 2; return x + y; }");
+  const auto fl = scan_of(c.img);
+  const auto mvi = faults_of_type(fl, FaultType::kMVI);
+  ASSERT_EQ(mvi.size(), 2u);  // both initializations are first stores
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {}), 42);
+  ASSERT_TRUE(apply_fault(c.img, mvi[0]));
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {}), 2);  // x missing -> 0 + 2
+}
+
+TEST(Operators, MvavTargetsLaterAssignmentOnly) {
+  auto c = compile_fn(R"(
+    fn f(a) {
+      var x = 1;
+      if (a > 0) { x = 7; }
+      return x;
+    }
+  )");
+  const auto fl = scan_of(c.img);
+  const auto mvav = faults_of_type(fl, FaultType::kMVAV);
+  ASSERT_EQ(mvav.size(), 1u);  // only the x = 7 assignment
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {5}), 7);
+  ASSERT_TRUE(apply_fault(c.img, mvav[0]));
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {5}), 1);  // assignment missing
+}
+
+TEST(Operators, MvaeRemovesExpressionAssignment) {
+  auto c = compile_fn("fn f(a, b) { var x = 1; x = a + b; return x; }");
+  const auto fl = scan_of(c.img);
+  const auto mvae = faults_of_type(fl, FaultType::kMVAE);
+  ASSERT_GE(mvae.size(), 1u);
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {20, 22}), 42);
+  ASSERT_TRUE(apply_fault(c.img, mvae[0]));
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {20, 22}), 1);
+}
+
+TEST(Operators, MiaMakesBodyUnconditional) {
+  auto c = compile_fn(R"(
+    fn f(a) {
+      var r = 0;
+      if (a > 10) { r = 1; }
+      return r;
+    }
+  )");
+  const auto fl = scan_of(c.img);
+  const auto mia = faults_of_type(fl, FaultType::kMIA);
+  ASSERT_EQ(mia.size(), 1u);
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {5}), 0);
+  ASSERT_TRUE(apply_fault(c.img, mia[0]));
+  // Guard removed: the body executes regardless of the condition.
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {5}), 1);
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {15}), 1);
+}
+
+TEST(Operators, MifsSkipsConstructEntirely) {
+  auto c = compile_fn(R"(
+    fn f(a) {
+      var r = 0;
+      if (a > 10) { r = 1; }
+      return r;
+    }
+  )");
+  const auto fl = scan_of(c.img);
+  const auto mifs = faults_of_type(fl, FaultType::kMIFS);
+  ASSERT_EQ(mifs.size(), 1u);
+  ASSERT_TRUE(apply_fault(c.img, mifs[0]));
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {15}), 0);  // construct gone
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {5}), 0);
+}
+
+TEST(Operators, IfConstructsWithReturnBodiesAreEligible) {
+  // Early-return validation is the archetypal OS-code if-construct; the
+  // epilogue-jump body must not be mistaken for an if/else.
+  auto c = compile_fn(R"(
+    fn f(a) {
+      if (a < 0) { return -1; }
+      return a * 2;
+    }
+  )");
+  const auto fl = scan_of(c.img);
+  ASSERT_EQ(faults_of_type(fl, FaultType::kMIFS).size(), 1u);
+  const auto mifs = faults_of_type(fl, FaultType::kMIFS)[0];
+  ASSERT_TRUE(apply_fault(c.img, mifs));
+  // Validation removed: negative input is no longer rejected.
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {-4}), -8);
+}
+
+TEST(Operators, LoopsAreNotIfConstructs) {
+  auto c = compile_fn(R"(
+    fn f(n) {
+      var s = 0;
+      var i = 0;
+      while (i < n) { s = s + i; i = i + 1; }
+      return s;
+    }
+  )");
+  const auto fl = scan_of(c.img);
+  // The while-header branch must not be matched by MIA/MIFS (removing a
+  // loop is not the "missing if" fault type).
+  for (const auto& f : faults_of_type(fl, FaultType::kMIA)) {
+    ASSERT_TRUE(apply_fault(c.img, f));
+    vm::Machine m;
+    m.load_image(c.img);
+    const auto r = m.call(c.fn_addr, {3}, 100000);
+    // If it matched the loop header, this would run forever (cycle limit).
+    EXPECT_NE(r.trap, vm::Trap::kCycleLimit);
+    ASSERT_TRUE(remove_fault(c.img, f));
+  }
+}
+
+TEST(Operators, MlacDropsFirstAndClause) {
+  auto c = compile_fn(R"(
+    fn f(a, b) {
+      var r = 0;
+      if (a > 0 && b > 0) { r = 1; }
+      return r;
+    }
+  )");
+  const auto fl = scan_of(c.img);
+  const auto mlac = faults_of_type(fl, FaultType::kMLAC);
+  ASSERT_EQ(mlac.size(), 1u);
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {-1, 5}), 0);
+  ASSERT_TRUE(apply_fault(c.img, mlac[0]));
+  // First clause gone: only b is checked.
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {-1, 5}), 1);
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {-1, -5}), 0);
+}
+
+TEST(Operators, MfcRemovesCallWithUnusedResult) {
+  auto c = compile_fn(R"(
+    fn bump(p) { store(p, load(p) + 1); return 0; }
+    fn f(p) {
+      store(p, 10);
+      bump(p);
+      var v = load(p);
+      return v;
+    }
+  )");
+  const auto fl = scan_of(c.img);
+  std::vector<FaultLocation> mfc;
+  for (const auto& f : faults_of_type(fl, FaultType::kMFC)) {
+    if (f.function == "f") mfc.push_back(f);
+  }
+  ASSERT_EQ(mfc.size(), 1u);
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {0x100000}), 11);
+  ASSERT_TRUE(apply_fault(c.img, mfc[0]));
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {0x100000}), 10);  // call missing
+}
+
+TEST(Operators, MfcSkipsCallsWhoseResultIsUsed) {
+  auto c = compile_fn(R"(
+    fn g(a) { return a + 1; }
+    fn f(a) { return g(a); }
+  )");
+  const auto fl = scan_of(c.img);
+  for (const auto& f : faults_of_type(fl, FaultType::kMFC)) {
+    EXPECT_NE(f.function, "f");  // result flows into the return value
+  }
+}
+
+TEST(Operators, WvavChangesAssignedConstant) {
+  auto c = compile_fn("fn f() { var x = 41; return x; }");
+  const auto fl = scan_of(c.img);
+  const auto wvav = faults_of_type(fl, FaultType::kWVAV);
+  ASSERT_EQ(wvav.size(), 1u);
+  ASSERT_TRUE(apply_fault(c.img, wvav[0]));
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {}), 42);  // off by one
+}
+
+TEST(Operators, WlecInvertsCondition) {
+  auto c = compile_fn(R"(
+    fn f(a) {
+      var r = 0;
+      if (a > 10) { r = 1; }
+      return r;
+    }
+  )");
+  const auto fl = scan_of(c.img);
+  const auto wlec = faults_of_type(fl, FaultType::kWLEC);
+  ASSERT_EQ(wlec.size(), 1u);
+  ASSERT_TRUE(apply_fault(c.img, wlec[0]));
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {15}), 0);
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {5}), 1);
+}
+
+TEST(Operators, WaepChangesParameterExpression) {
+  auto c = compile_fn(R"(
+    fn g(v) { return v; }
+    fn f(a, b) { return g(a + b); }
+  )");
+  const auto fl = scan_of(c.img);
+  std::vector<FaultLocation> waep;
+  for (const auto& f : faults_of_type(fl, FaultType::kWAEP)) {
+    if (f.function == "f") waep.push_back(f);
+  }
+  ASSERT_EQ(waep.size(), 1u);
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {30, 12}), 42);
+  ASSERT_TRUE(apply_fault(c.img, waep[0]));
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {30, 12}), 18);  // a - b
+}
+
+TEST(Operators, WpfvSwapsParameterVariable) {
+  auto c = compile_fn(R"(
+    fn g(v) { return v; }
+    fn f() {
+      var x = 1;
+      var y = 2;
+      var r = g(x);
+      return r * 10 + y;
+    }
+  )");
+  const auto fl = scan_of(c.img);
+  std::vector<FaultLocation> wpfv;
+  for (const auto& f : faults_of_type(fl, FaultType::kWPFV)) {
+    if (f.function == "f") wpfv.push_back(f);
+  }
+  ASSERT_GE(wpfv.size(), 1u);
+  EXPECT_EQ(run_image(c.img, c.fn_addr, {}), 12);
+  ASSERT_TRUE(apply_fault(c.img, wpfv[0]));
+  const auto mutated = run_image(c.img, c.fn_addr, {});
+  EXPECT_NE(mutated, 12);  // a different local was passed
+}
+
+TEST(Operators, MutationsPreserveWindowSize) {
+  os::Kernel k(os::OsVersion::kVos2000);
+  const auto fl = Scanner{}.scan_all(k.pristine_image());
+  for (const auto& f : fl.faults) {
+    EXPECT_EQ(f.original.size(), f.mutated.size());
+    EXPECT_GE(f.window(), 1u);
+    EXPECT_LE(f.window(), 8u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scanner on the real OS images
+// ---------------------------------------------------------------------------
+
+class ScannerOsTest : public ::testing::TestWithParam<os::OsVersion> {};
+
+INSTANTIATE_TEST_SUITE_P(BothVersions, ScannerOsTest,
+                         ::testing::Values(os::OsVersion::kVos2000,
+                                           os::OsVersion::kVosXp),
+                         [](const auto& info) {
+                           return info.param == os::OsVersion::kVos2000
+                                      ? "Vos2000"
+                                      : "VosXp";
+                         });
+
+std::vector<std::string> api_names() {
+  std::vector<std::string> names;
+  for (const auto& f : os::api_functions()) names.push_back(f.name);
+  return names;
+}
+
+TEST_P(ScannerOsTest, DeterministicFaultloadGeneration) {
+  os::Kernel k(GetParam());
+  Scanner s;
+  const auto a = s.scan(k.pristine_image(), api_names());
+  const auto b = s.scan(k.pristine_image(), api_names());
+  EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+TEST_P(ScannerOsTest, AllTwelveFaultTypesPresent) {
+  os::Kernel k(GetParam());
+  const auto fl = Scanner{}.scan(k.pristine_image(), api_names());
+  const auto counts = fl.counts_by_type();
+  for (int i = 0; i < kNumFaultTypes; ++i) {
+    EXPECT_GT(counts[static_cast<std::size_t>(i)], 0)
+        << fault_type_name(static_cast<FaultType>(i));
+  }
+}
+
+TEST_P(ScannerOsTest, FaultsLieWithinTheirFunctions) {
+  os::Kernel k(GetParam());
+  const auto fl = Scanner{}.scan(k.pristine_image(), api_names());
+  for (const auto& f : fl.faults) {
+    const auto* sym = k.pristine_image().find_symbol(f.function);
+    ASSERT_NE(sym, nullptr) << f.function;
+    EXPECT_GE(f.addr, sym->addr);
+    EXPECT_LE(f.addr + f.window() * isa::kInstrSize, sym->addr + sym->size);
+  }
+}
+
+TEST_P(ScannerOsTest, FaultsSortedByAddress) {
+  os::Kernel k(GetParam());
+  const auto fl = Scanner{}.scan(k.pristine_image(), api_names());
+  EXPECT_TRUE(std::is_sorted(fl.faults.begin(), fl.faults.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.addr < b.addr ||
+                                      (a.addr == b.addr && a.type < b.type);
+                             }));
+}
+
+TEST(ScannerVersions, XpFaultloadIsLarger) {
+  os::Kernel k2000(os::OsVersion::kVos2000);
+  os::Kernel kxp(os::OsVersion::kVosXp);
+  const auto f2000 = Scanner{}.scan(k2000.pristine_image(), api_names());
+  const auto fxp = Scanner{}.scan(kxp.pristine_image(), api_names());
+  // The paper's Table 3: the XP faultload is substantially larger (~1.7x).
+  EXPECT_GT(fxp.faults.size(), f2000.faults.size() * 5 / 4);
+}
+
+TEST(ScannerOptions, UnknownFunctionsIgnored) {
+  os::Kernel k(os::OsVersion::kVos2000);
+  const auto fl = Scanner{}.scan(k.pristine_image(), {"NoSuchFn"});
+  EXPECT_TRUE(fl.faults.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Faultload serialization
+// ---------------------------------------------------------------------------
+
+TEST(FaultloadIo, SerializeParseRoundTrip) {
+  os::Kernel k(os::OsVersion::kVos2000);
+  const auto fl = Scanner{}.scan(k.pristine_image(), api_names());
+  const auto text = fl.serialize();
+  const auto back = Faultload::parse(text);
+  EXPECT_EQ(back.target, fl.target);
+  EXPECT_EQ(back.digest, fl.digest);
+  ASSERT_EQ(back.faults.size(), fl.faults.size());
+  EXPECT_EQ(back.serialize(), text);
+  EXPECT_TRUE(back.matches(k.pristine_image()));
+}
+
+TEST(FaultloadIo, DigestGuardsAgainstWrongTarget) {
+  os::Kernel k2000(os::OsVersion::kVos2000);
+  os::Kernel kxp(os::OsVersion::kVosXp);
+  const auto fl = Scanner{}.scan(k2000.pristine_image(), api_names());
+  EXPECT_TRUE(fl.matches(k2000.pristine_image()));
+  EXPECT_FALSE(fl.matches(kxp.pristine_image()));
+}
+
+TEST(FaultloadIo, ParseRejectsGarbage) {
+  EXPECT_THROW(Faultload::parse("not a faultload"), FaultloadError);
+  EXPECT_THROW(Faultload::parse("faultload v1\ncount 3\n"), FaultloadError);
+  EXPECT_THROW(Faultload::parse("faultload v1\nbogus x\ncount 0\n"),
+               FaultloadError);
+  EXPECT_THROW(
+      Faultload::parse("faultload v1\ncount 1\nfault XXXX f 0 1 00 00\n"),
+      FaultloadError);
+}
+
+TEST(FaultloadIo, CountsByTypeSumsToTotal) {
+  os::Kernel k(os::OsVersion::kVos2000);
+  const auto fl = Scanner{}.scan(k.pristine_image(), api_names());
+  const auto counts = fl.counts_by_type();
+  int sum = 0;
+  for (const int c : counts) sum += c;
+  EXPECT_EQ(sum, static_cast<int>(fl.faults.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Injector
+// ---------------------------------------------------------------------------
+
+TEST(InjectorTest, InjectAndRestoreIsByteExact) {
+  os::Kernel k(os::OsVersion::kVos2000);
+  const auto fl = Scanner{}.scan(k.pristine_image(), api_names());
+  const auto digest = k.pristine_image().code_digest();
+  Injector inj(k);
+  ASSERT_FALSE(fl.faults.empty());
+  for (std::size_t i = 0; i < std::min<std::size_t>(fl.faults.size(), 50); ++i) {
+    ASSERT_TRUE(inj.inject(fl.faults[i]));
+    EXPECT_NE(k.active_image().code_digest(), digest);
+    inj.restore();
+    EXPECT_EQ(k.active_image().code_digest(), digest);
+  }
+}
+
+TEST(InjectorTest, SequentialInjectSwapsFaults) {
+  os::Kernel k(os::OsVersion::kVos2000);
+  const auto fl = Scanner{}.scan(k.pristine_image(), api_names());
+  ASSERT_GE(fl.faults.size(), 2u);
+  Injector inj(k);
+  ASSERT_TRUE(inj.inject(fl.faults[0]));
+  ASSERT_TRUE(inj.inject(fl.faults[1]));  // implicit restore of fault 0
+  EXPECT_EQ(inj.active()->addr, fl.faults[1].addr);
+  inj.restore();
+  EXPECT_EQ(k.active_image().code_digest(), k.pristine_image().code_digest());
+  EXPECT_EQ(inj.injections(), 2u);
+}
+
+TEST(InjectorTest, DestructorRestores) {
+  os::Kernel k(os::OsVersion::kVos2000);
+  const auto fl = Scanner{}.scan(k.pristine_image(), api_names());
+  {
+    Injector inj(k);
+    ASSERT_TRUE(inj.inject(fl.faults[0]));
+  }
+  EXPECT_EQ(k.active_image().code_digest(), k.pristine_image().code_digest());
+}
+
+TEST(InjectorTest, RejectsMismatchedOriginal) {
+  os::Kernel k(os::OsVersion::kVos2000);
+  auto fl = Scanner{}.scan(k.pristine_image(), api_names());
+  auto fault = fl.faults[0];
+  fault.original[0].imm ^= 0x55;  // stale faultload
+  Injector inj(k);
+  EXPECT_FALSE(inj.inject(fault));
+  EXPECT_EQ(k.active_image().code_digest(), k.pristine_image().code_digest());
+}
+
+TEST(InjectorTest, InjectedFaultChangesVmBehaviorAndRestores) {
+  os::Kernel k(os::OsVersion::kVos2000);
+  os::OsApi api(k);
+  // Find a WLEC fault in RtlAllocateHeap's size guard: with the branch
+  // inverted, valid sizes get rejected or invalid accepted.
+  const auto fl = Scanner{}.scan(k.pristine_image(), {"RtlAllocateHeap"});
+  Injector inj(k);
+  bool behavior_changed = false;
+  for (const auto& f : fl.faults) {
+    ASSERT_TRUE(inj.inject(f));
+    const auto r = api.rtl_alloc(64);
+    const bool normal = r.completed && r.value > 0;
+    inj.restore();
+    k.reboot();  // clear any heap corruption the fault caused
+    if (!normal) behavior_changed = true;
+  }
+  EXPECT_TRUE(behavior_changed);
+  // After restore + reboot the OS is healthy again.
+  EXPECT_GT(api.rtl_alloc(64).value, 0);
+}
+
+// Whole-faultload containment sweep: every fault can be injected, exercised
+// and restored without ever harming the host or the harness.
+class FaultSweepTest : public ::testing::TestWithParam<os::OsVersion> {};
+
+INSTANTIATE_TEST_SUITE_P(BothVersions, FaultSweepTest,
+                         ::testing::Values(os::OsVersion::kVos2000,
+                                           os::OsVersion::kVosXp),
+                         [](const auto& info) {
+                           return info.param == os::OsVersion::kVos2000
+                                      ? "Vos2000"
+                                      : "VosXp";
+                         });
+
+TEST_P(FaultSweepTest, EveryFaultIsContainedAndRestorable) {
+  os::Kernel k(GetParam());
+  os::OsApi api(k, /*cycle_budget=*/200000);
+  k.disk().add_file("/probe", {'d', 'a', 't', 'a'});
+  const auto fl = Scanner{}.scan(k.pristine_image(), api_names());
+  const auto digest = k.pristine_image().code_digest();
+  Injector inj(k);
+  int completed = 0, crashed = 0, hung = 0;
+  for (const auto& f : fl.faults) {
+    ASSERT_TRUE(inj.inject(f)) << fault_type_name(f.type) << "@" << f.addr;
+    // Exercise a representative API mix under the fault.
+    api.write_cstr(os::OsApi::kPathSlot, "/probe");
+    const auto open = api.nt_open_file(os::OsApi::kPathSlot);
+    if (open.completed) {
+      if (open.value > 0) {
+        api.nt_read_file(open.value, 0x150000, 4);
+        api.nt_close(open.value);
+      }
+      ++completed;
+    } else if (open.hung()) {
+      ++hung;
+    } else {
+      ++crashed;
+    }
+    const auto alloc = api.rtl_alloc(128);
+    if (alloc.completed && alloc.value > 0) {
+      api.rtl_free(static_cast<std::uint64_t>(alloc.value));
+    }
+    inj.restore();
+    ASSERT_EQ(k.active_image().code_digest(), digest);
+    k.reboot();
+  }
+  // The sweep must observe all three consequence classes somewhere.
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(crashed + hung, 0);
+}
+
+}  // namespace
+}  // namespace gf::swfit

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace gf::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.bounded(17), 17u);
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.bounded(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng r(5);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[r.weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  // The fork must not replay the parent stream.
+  Rng b(42);
+  b.next();  // advance past the fork draw
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += child.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Zipf, FirstRankMostPopular) {
+  Zipf z(100, 1.0);
+  Rng r(13);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[z.sample(r)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+TEST(Zipf, AllSamplesInRange) {
+  Zipf z(10, 0.8);
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(r), 10u);
+}
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator a;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) a.add(x);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+  EXPECT_NEAR(a.stdev(), 1.2909944, 1e-6);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.stdev(), 0.0);
+}
+
+TEST(Stats, MeanStdev) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stdev(xs), 2.13809, 1e-4);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.5);
+}
+
+TEST(Stats, Ci95ShrinksWithN) {
+  std::vector<double> small = {1, 2, 3, 4};
+  std::vector<double> large;
+  for (int i = 0; i < 16; ++i) large.insert(large.end(), {1, 2, 3, 4});
+  EXPECT_GT(ci95_halfwidth(small), ci95_halfwidth(large));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5);
+  t.row().cell("b").cell(22.25);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.25"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"a"});
+  t.row().cell("x,y");
+  EXPECT_NE(t.to_csv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Table, BarClamped) {
+  EXPECT_EQ(bar(10.0, 10.0, 4), "####");
+  EXPECT_EQ(bar(0.0, 10.0, 4), "    ");
+  EXPECT_EQ(bar(20.0, 10.0, 4), "####");  // clamped
+}
+
+}  // namespace
+}  // namespace gf::util

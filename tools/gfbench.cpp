@@ -1,0 +1,230 @@
+// gfbench — command-line front end to the genfault library.
+//
+//   gfbench scan     --os 2000|xp [--out FILE] [--all-symbols]
+//   gfbench profile  --os 2000|xp [--servers a,b,...]
+//   gfbench campaign --os 2000|xp --server apex|abyssal
+//                    [--faultload FILE] [--stride K] [--scale S]
+//                    [--iterations N] [--seed S]
+//   gfbench show     --faultload FILE [--limit N]
+//
+// `scan` writes a portable faultload file; `campaign` can consume it later
+// (possibly on another machine — the digest check refuses a mismatched OS
+// build), which is exactly the paper's repeatable/portable faultload story.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "depbench/report.h"
+#include "depbench/tuner.h"
+#include "isa/disassembler.h"
+#include "swfit/scanner.h"
+#include "util/log.h"
+
+namespace {
+
+using namespace gf;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: gfbench <scan|profile|campaign|show> [options]\n"
+               "  scan     --os 2000|xp [--out FILE] [--all-symbols]\n"
+               "  profile  --os 2000|xp [--servers apex,abyssal,...]\n"
+               "  campaign --os 2000|xp --server NAME [--faultload FILE]\n"
+               "           [--stride K] [--scale S] [--iterations N] [--seed S]\n"
+               "  show     --faultload FILE [--limit N]\n");
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) {
+  std::map<std::string, std::string> flags;
+  for (int i = from; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) usage();
+    const std::string key = argv[i] + 2;
+    if (key == "all-symbols") {
+      flags[key] = "1";
+    } else if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    } else {
+      usage();
+    }
+  }
+  return flags;
+}
+
+os::OsVersion parse_os(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("os");
+  if (it == flags.end() || it->second == "2000") return os::OsVersion::kVos2000;
+  if (it->second == "xp") return os::OsVersion::kVosXp;
+  usage();
+}
+
+std::vector<std::string> api_names() {
+  std::vector<std::string> names;
+  for (const auto& fn : os::api_functions()) names.emplace_back(fn.name);
+  return names;
+}
+
+int cmd_scan(const std::map<std::string, std::string>& flags) {
+  const auto version = parse_os(flags);
+  os::Kernel kernel(version);
+  swfit::Scanner scanner;
+  const auto fl = flags.count("all-symbols")
+                      ? scanner.scan_all(kernel.pristine_image())
+                      : scanner.scan(kernel.pristine_image(), api_names());
+  const auto counts = fl.counts_by_type();
+  std::printf("scanned %s: %zu faults\n", os::os_version_name(version),
+              fl.faults.size());
+  for (int i = 0; i < swfit::kNumFaultTypes; ++i) {
+    std::printf("  %-5s %d\n",
+                swfit::fault_type_name(static_cast<swfit::FaultType>(i)),
+                counts[static_cast<std::size_t>(i)]);
+  }
+  const auto out = flags.count("out") ? flags.at("out") : std::string{};
+  if (!out.empty()) {
+    std::ofstream f(out);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    f << fl.serialize();
+    std::printf("faultload written to %s (digest %016llx)\n", out.c_str(),
+                static_cast<unsigned long long>(fl.digest));
+  }
+  return 0;
+}
+
+int cmd_profile(const std::map<std::string, std::string>& flags) {
+  const auto version = parse_os(flags);
+  std::vector<std::string> servers = {"apex", "abyssal", "sambar", "savant"};
+  if (flags.count("servers")) {
+    servers.clear();
+    std::istringstream in(flags.at("servers"));
+    std::string name;
+    while (std::getline(in, name, ',')) servers.push_back(name);
+  }
+  depbench::Profiler profiler;
+  const auto profile = profiler.profile(version, servers);
+  std::printf("%-30s", "function");
+  for (const auto& col : profile.columns) std::printf(" %9s", col.server.c_str());
+  std::printf(" %9s\n", "average");
+  for (const auto& fn : os::api_functions()) {
+    std::printf("%-30s", fn.name);
+    for (const auto& col : profile.columns) {
+      const auto it = col.pct.find(fn.name);
+      std::printf(" %8.2f%%", it == col.pct.end() ? 0.0 : it->second);
+    }
+    std::printf(" %8.2f%%\n", profile.average_pct(fn.name));
+  }
+  const auto relevant = profile.relevant_functions();
+  std::printf("selected for injection: %zu functions, %.2f%% call coverage\n",
+              relevant.size(), profile.total_coverage());
+  return 0;
+}
+
+int cmd_campaign(const std::map<std::string, std::string>& flags) {
+  const auto version = parse_os(flags);
+  if (!flags.count("server")) usage();
+  const auto server = flags.at("server");
+
+  os::Kernel scan_kernel(version);
+  swfit::Faultload fl;
+  if (flags.count("faultload")) {
+    std::ifstream f(flags.at("faultload"));
+    if (!f) {
+      std::fprintf(stderr, "cannot read %s\n", flags.at("faultload").c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    fl = swfit::Faultload::parse(buf.str());
+    if (!fl.matches(scan_kernel.pristine_image())) {
+      std::fprintf(stderr,
+                   "faultload digest does not match this %s build — refusing "
+                   "to inject\n",
+                   os::os_version_name(version));
+      return 1;
+    }
+  } else {
+    fl = swfit::Scanner{}.scan(scan_kernel.pristine_image(), api_names());
+  }
+
+  depbench::ControllerConfig cfg;
+  cfg.connections = server == "apex" ? 37 : 34;
+  if (flags.count("stride")) cfg.fault_stride = std::stoi(flags.at("stride"));
+  if (flags.count("scale")) cfg.time_scale = std::stod(flags.at("scale"));
+  const int iterations =
+      flags.count("iterations") ? std::stoi(flags.at("iterations")) : 3;
+  const auto seed = flags.count("seed")
+                        ? std::stoull(flags.at("seed"))
+                        : std::uint64_t{1000};
+
+  depbench::Controller ctl(version, server, cfg);
+  depbench::ExperimentCell cell;
+  cell.os_name = os::os_version_name(version);
+  cell.server_name = server;
+  cell.baseline = ctl.run_profile_mode(fl, 120000, 1);
+  for (int i = 0; i < iterations; ++i) {
+    cell.iterations.push_back(
+        ctl.run_iteration(fl, seed + static_cast<std::uint64_t>(i)));
+  }
+  std::printf("%s\n", depbench::render_table5_cell(cell).c_str());
+  const auto d = depbench::derive_metrics(cell);
+  std::printf("SPC retention %.0f%%, THR retention %.0f%%, ER%%f %.1f, "
+              "ADMf %.1f\n",
+              100 * d.spc_rel, 100 * d.thr_rel, d.erf_pct, d.admf);
+  return 0;
+}
+
+int cmd_show(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("faultload")) usage();
+  std::ifstream f(flags.at("faultload"));
+  if (!f) {
+    std::fprintf(stderr, "cannot read %s\n", flags.at("faultload").c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const auto fl = swfit::Faultload::parse(buf.str());
+  std::printf("target %s, digest %016llx, %zu faults\n", fl.target.c_str(),
+              static_cast<unsigned long long>(fl.digest), fl.faults.size());
+  const auto limit = flags.count("limit")
+                         ? static_cast<std::size_t>(std::stoul(flags.at("limit")))
+                         : std::size_t{20};
+  for (std::size_t i = 0; i < fl.faults.size() && i < limit; ++i) {
+    const auto& fault = fl.faults[i];
+    std::printf("%4zu  %-5s %-30s 0x%llx\n", i,
+                swfit::fault_type_name(fault.type), fault.function.c_str(),
+                static_cast<unsigned long long>(fault.addr));
+    for (std::size_t k = 0; k < fault.window(); ++k) {
+      std::printf("        %-28s => %s\n",
+                  isa::disassemble(fault.original[k]).c_str(),
+                  isa::disassemble(fault.mutated[k]).c_str());
+    }
+  }
+  if (fl.faults.size() > limit) {
+    std::printf("... %zu more (use --limit)\n", fl.faults.size() - limit);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  util::set_log_level(util::LogLevel::kInfo);
+  try {
+    if (cmd == "scan") return cmd_scan(flags);
+    if (cmd == "profile") return cmd_profile(flags);
+    if (cmd == "campaign") return cmd_campaign(flags);
+    if (cmd == "show") return cmd_show(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}

@@ -1,6 +1,6 @@
 // Shared campaign driver for the Table 5 and Figure 5 benches: runs the
 // full dependability benchmark (baseline + 3 iterations) for each
-// server x OS cell.
+// server x OS cell through the sharded parallel CampaignRunner.
 #pragma once
 
 #include <cstdio>
@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "depbench/report.h"
+#include "depbench/runner.h"
 #include "depbench/tuner.h"
 #include "swfit/scanner.h"
 
@@ -18,6 +19,9 @@ struct CampaignOptions {
   double time_scale = 1.0;  ///< fault exposure scale (1.0 = the paper's 10 s)
   int stride = 6;           ///< inject every k-th fault of the faultload
   int iterations = 3;       ///< SPECWeb rule: at least three runs
+  int jobs = 0;             ///< worker threads; 0 = hardware_concurrency
+  int shards = 1;           ///< fault-index shards per iteration
+  std::uint64_t seed = 1;   ///< campaign seed (per-task seeds are derived)
 };
 
 inline CampaignOptions parse_options(int argc, char** argv) {
@@ -35,10 +39,16 @@ inline CampaignOptions parse_options(int argc, char** argv) {
       opt.stride = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
       opt.iterations = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opt.jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      opt.shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick|--full] [--scale S] [--stride K] "
-                   "[--iterations N]\n",
+                   "[--iterations N] [--jobs J] [--shards S] [--seed X]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -46,47 +56,29 @@ inline CampaignOptions parse_options(int argc, char** argv) {
   return opt;
 }
 
-/// Runs the campaign for one cell: profile-mode baseline + N iterations.
-inline depbench::ExperimentCell run_cell(os::OsVersion version,
-                                         const std::string& server,
-                                         const swfit::Faultload& fl,
-                                         const CampaignOptions& opt) {
-  depbench::ControllerConfig cfg;
-  cfg.connections = server == "apex" ? 37 : 34;
-  cfg.time_scale = opt.time_scale;
-  cfg.fault_stride = opt.stride;
-  depbench::Controller ctl(version, server, cfg);
-
-  depbench::ExperimentCell cell;
-  cell.os_name = os::os_version_name(version);
-  cell.server_name = server;
-  cell.baseline = ctl.run_profile_mode(fl, 120000, 1);
-  for (int i = 0; i < opt.iterations; ++i) {
-    cell.iterations.push_back(
-        ctl.run_iteration(fl, 1000 + static_cast<std::uint64_t>(i)));
-  }
-  return cell;
+inline depbench::RunnerOptions to_runner_options(const CampaignOptions& opt) {
+  depbench::RunnerOptions ropt;
+  ropt.time_scale = opt.time_scale;
+  ropt.stride = opt.stride;
+  ropt.iterations = opt.iterations;
+  ropt.jobs = opt.jobs;
+  ropt.shards = opt.shards;
+  ropt.seed = opt.seed;
+  return ropt;
 }
 
-/// Runs all four cells (2 servers x 2 OS versions).
+/// Runs all four cells (2 servers x 2 OS versions). Results are independent
+/// of --jobs: seeds are derived per (cell, task), so N workers produce the
+/// same numbers as the sequential run, just faster.
 inline std::vector<depbench::ExperimentCell> run_all_cells(
     const CampaignOptions& opt) {
-  std::vector<std::string> functions;
-  for (const auto& fn : os::api_functions()) functions.push_back(fn.name);
-
-  std::vector<depbench::ExperimentCell> cells;
-  for (const auto version : {os::OsVersion::kVos2000, os::OsVersion::kVosXp}) {
-    os::Kernel scan_kernel(version);
-    const auto fl = swfit::Scanner{}.scan(scan_kernel.pristine_image(), functions);
-    for (const std::string server : {"apex", "abyssal"}) {
-      std::fprintf(stderr, "[campaign] %s on %s (%zu faults, stride %d, "
-                           "%d iterations)...\n",
-                   server.c_str(), os::os_version_name(version),
-                   fl.faults.size(), opt.stride, opt.iterations);
-      cells.push_back(run_cell(version, server, fl, opt));
-    }
-  }
-  return cells;
+  std::fprintf(stderr,
+               "[campaign] 2 servers x 2 OS versions, stride %d, %d "
+               "iterations, %d shard(s), jobs=%s\n",
+               opt.stride, opt.iterations, opt.shards,
+               opt.jobs > 0 ? std::to_string(opt.jobs).c_str() : "auto");
+  depbench::CampaignRunner runner(to_runner_options(opt));
+  return runner.run_campaign();
 }
 
 }  // namespace gf::benchrun

@@ -16,14 +16,19 @@ namespace {
 
 using namespace gf;
 
-void BM_VmDispatch(benchmark::State& state) {
+isa::Image dispatch_image() {
   // Tight arithmetic loop: measures raw interpreter throughput.
-  const auto img = minic::compile(
+  return minic::compile(
       "fn f(n) { var s = 0; var i = 0; while (i < n) { s = s + i * 3; "
       "i = i + 1; } return s; }",
       "bench", 0x1000);
+}
+
+void run_dispatch(benchmark::State& state, bool predecode) {
+  const auto img = dispatch_image();
   vm::Machine m;
   m.load_image(img);
+  m.set_predecode(predecode);
   const auto addr = img.find_symbol("f")->addr;
   const std::int64_t n = state.range(0);
   for (auto _ : state) {
@@ -32,7 +37,26 @@ void BM_VmDispatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * 10);  // ~10 instrs/iter
 }
+
+void BM_VmDispatch(benchmark::State& state) {
+  run_dispatch(state, true);  // the default machine configuration
+}
 BENCHMARK(BM_VmDispatch)->Arg(1000)->Arg(100000);
+
+/// Same loop with the predecode side-table explicitly enabled — one name
+/// per dispatch strategy keeps the decode-cache win visible in the
+/// trajectory even if the default ever changes.
+void BM_VmDispatchPredecoded(benchmark::State& state) {
+  run_dispatch(state, true);
+}
+BENCHMARK(BM_VmDispatchPredecoded)->Arg(100000);
+
+/// Same loop on the fallback path: per-step isa::decode plus the
+/// last-hit-cached in_code() range walk.
+void BM_VmDispatchNoPredecode(benchmark::State& state) {
+  run_dispatch(state, false);
+}
+BENCHMARK(BM_VmDispatchNoPredecode)->Arg(100000);
 
 void BM_MiniCCompileOs(benchmark::State& state) {
   for (auto _ : state) {
@@ -70,6 +94,28 @@ void BM_InjectRestore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InjectRestore);
+
+/// Inject + execute + restore + execute: on top of the patch cost this
+/// realizes the predecode re-decode of the touched slots and the dispatch
+/// of the patched/restored window, i.e. the full per-fault-swap overhead a
+/// campaign pays.
+void BM_InjectRestoreInvalidate(benchmark::State& state) {
+  os::Kernel kernel(os::OsVersion::kVos2000);
+  std::vector<std::string> fns;
+  for (const auto& f : os::api_functions()) fns.emplace_back(f.name);
+  const auto fl = swfit::Scanner{}.scan(kernel.pristine_image(), fns);
+  swfit::Injector injector(kernel);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& f = fl.faults[i++ % fl.faults.size()];
+    const auto addr = kernel.api_addr(f.function);
+    injector.inject(f);
+    benchmark::DoNotOptimize(kernel.machine().call(addr, {0, 0}, 20000).trap);
+    injector.restore();
+    benchmark::DoNotOptimize(kernel.machine().call(addr, {0, 0}, 20000).trap);
+  }
+}
+BENCHMARK(BM_InjectRestoreInvalidate);
 
 void BM_ApiCallAlloc(benchmark::State& state) {
   os::Kernel kernel(os::OsVersion::kVos2000);

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Runs the micro-benchmark substrate with JSON output so each PR can record
+# a perf-trajectory point (BENCH_micro.json) comparable across revisions.
+#
+# Usage: bench/run_benches.sh [build-dir] [out.json] [extra benchmark args...]
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_micro.json}
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+
+if [ ! -x "$BUILD_DIR/bench/micro_substrate" ]; then
+  echo "error: $BUILD_DIR/bench/micro_substrate not built" \
+       "(cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+exec "$BUILD_DIR/bench/micro_substrate" \
+  --benchmark_out="$OUT" --benchmark_out_format=json "$@"

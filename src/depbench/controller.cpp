@@ -95,7 +95,7 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
   const double detect = cfg_.detect_ms * cfg_.time_scale;
   const double restart_time = cfg_.admin_restart_ms * cfg_.time_scale;
   const auto stride = static_cast<std::size_t>(std::max(1, cfg_.fault_stride));
-  std::size_t next_fault = 0;
+  std::size_t next_fault = static_cast<std::size_t>(std::max(0, cfg_.fault_offset));
   double next_swap = 0;
   int injected_this_slot = 0;
   int self_restarts_this_fault = 0;
@@ -200,8 +200,9 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
     }
   };
 
-  const auto total_faults =
-      (fl.faults.size() + stride - 1) / stride;
+  const auto offset = static_cast<std::size_t>(std::max(0, cfg_.fault_offset));
+  const auto remaining = offset < fl.faults.size() ? fl.faults.size() - offset : 0;
+  const auto total_faults = (remaining + stride - 1) / stride;
   const double duration = static_cast<double>(total_faults) * exposure;
   GF_INFO() << "campaign iteration: " << server_->name() << " on "
             << os::os_version_name(kernel_->version()) << ", "

@@ -1,0 +1,219 @@
+#include "depbench/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "swfit/scanner.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace gf::depbench {
+
+namespace {
+
+std::vector<std::string> all_api_names() {
+  std::vector<std::string> names;
+  for (const auto& f : os::api_functions()) names.emplace_back(f.name);
+  return names;
+}
+
+ControllerConfig cell_config(const std::string& server,
+                             const RunnerOptions& opt) {
+  ControllerConfig cfg;
+  cfg.connections = server == "apex" ? 37 : 34;
+  cfg.time_scale = opt.time_scale;
+  cfg.fault_stride = opt.stride;
+  return cfg;
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t cell,
+                          std::uint64_t task) noexcept {
+  // Two SplitMix64 hops: the first opens a per-cell stream, the second picks
+  // the task's value inside it. Both inputs are mixed multiplicatively so
+  // (cell=1, task=0) and (cell=0, task=1) land in unrelated streams.
+  util::SplitMix64 g(seed ^ (0x9E3779B97F4A7C15ULL * (cell + 1)));
+  util::SplitMix64 h(g.next() ^ (0xBF58476D1CE4E5B9ULL * (task + 1)));
+  return h.next();
+}
+
+CampaignCounters merge_counters(const CampaignCounters& a,
+                                const CampaignCounters& b) noexcept {
+  CampaignCounters m;
+  m.mis = a.mis + b.mis;
+  m.kns = a.kns + b.kns;
+  m.kcp = a.kcp + b.kcp;
+  m.faults_injected = a.faults_injected + b.faults_injected;
+  m.self_restarts = a.self_restarts + b.self_restarts;
+  return m;
+}
+
+spec::WindowMetrics merge_windows(const spec::WindowMetrics& a,
+                                  const spec::WindowMetrics& b) noexcept {
+  spec::WindowMetrics m;
+  m.duration_ms = a.duration_ms + b.duration_ms;
+  m.ops = a.ops + b.ops;
+  m.errors = a.errors + b.errors;
+  m.bytes = a.bytes + b.bytes;
+  const auto succ_a = static_cast<double>(a.ops - a.errors);
+  const auto succ_b = static_cast<double>(b.ops - b.errors);
+  const double succ = succ_a + succ_b;
+  m.thr = m.duration_ms > 0 ? succ / (m.duration_ms / 1000.0) : 0;
+  m.rtm_ms = succ > 0 ? (a.rtm_ms * succ_a + b.rtm_ms * succ_b) / succ : 0;
+  m.er_pct = m.ops > 0
+                 ? 100.0 * static_cast<double>(m.errors) /
+                       static_cast<double>(m.ops)
+                 : 0;
+  m.spc = std::min(a.spc, b.spc);
+  m.cc_pct = std::min(a.cc_pct, b.cc_pct);
+  return m;
+}
+
+IterationResult merge_shards(const std::vector<IterationResult>& shards) {
+  if (shards.empty()) return {};
+  IterationResult merged = shards.front();
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    merged.metrics = merge_windows(merged.metrics, shards[i].metrics);
+    merged.counters = merge_counters(merged.counters, shards[i].counters);
+  }
+  return merged;
+}
+
+void CampaignRunner::scan_faultloads() {
+  if (!faultloads_.empty()) return;
+  for (const auto version : opt_.versions) {
+    os::Kernel scan_kernel(version);
+    faultloads_.emplace_back(
+        version, swfit::Scanner{}.scan(scan_kernel.pristine_image(),
+                                       all_api_names()));
+  }
+}
+
+const swfit::Faultload& CampaignRunner::faultload_for(os::OsVersion v) const {
+  for (const auto& [version, fl] : faultloads_) {
+    if (version == v) return fl;
+  }
+  throw std::logic_error("faultload_for: version was not scanned");
+}
+
+void CampaignRunner::run_tasks(
+    std::size_t count, const std::function<void(std::size_t)>& task) const {
+  std::size_t jobs = opt_.jobs > 0
+                         ? static_cast<std::size_t>(opt_.jobs)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::min(jobs, count);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr err;
+  auto worker = [&] {
+    while (true) {
+      const auto i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        task(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
+std::vector<ExperimentCell> CampaignRunner::run_campaign() {
+  scan_faultloads();
+
+  const auto iters = static_cast<std::size_t>(std::max(0, opt_.iterations));
+  const auto shards = static_cast<std::size_t>(std::max(1, opt_.shards));
+  const std::size_t n_cells = opt_.versions.size() * opt_.servers.size();
+  const std::size_t tasks_per_cell = 1 + iters * shards;
+
+  std::vector<ExperimentCell> cells(n_cells);
+  // One slot per (cell, iteration, shard): tasks write only their own slot,
+  // which is what makes the merge independent of scheduling order.
+  std::vector<std::vector<IterationResult>> shard_results(
+      n_cells, std::vector<IterationResult>(iters * shards));
+
+  run_tasks(n_cells * tasks_per_cell, [&](std::size_t idx) {
+    const std::size_t cell = idx / tasks_per_cell;
+    const std::size_t task = idx % tasks_per_cell;
+    const auto version = opt_.versions[cell / opt_.servers.size()];
+    const auto& server = opt_.servers[cell % opt_.servers.size()];
+    const auto& fl = faultload_for(version);
+    auto cfg = cell_config(server, opt_);
+    const auto seed = derive_seed(opt_.seed, cell, task);
+
+    if (task == 0) {
+      Controller ctl(version, server, cfg);
+      cells[cell].baseline =
+          ctl.run_profile_mode(fl, opt_.baseline_window_ms, seed);
+      return;
+    }
+    const std::size_t shard = (task - 1) % shards;
+    cfg.fault_stride = opt_.stride * static_cast<int>(shards);
+    cfg.fault_offset = opt_.stride * static_cast<int>(shard);
+    Controller ctl(version, server, cfg);
+    shard_results[cell][task - 1] = ctl.run_iteration(fl, seed);
+  });
+
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    cells[cell].os_name =
+        os::os_version_name(opt_.versions[cell / opt_.servers.size()]);
+    cells[cell].server_name = opt_.servers[cell % opt_.servers.size()];
+    for (std::size_t it = 0; it < iters; ++it) {
+      const auto first = shard_results[cell].begin() +
+                         static_cast<std::ptrdiff_t>(it * shards);
+      cells[cell].iterations.push_back(merge_shards(
+          std::vector<IterationResult>(first, first + static_cast<std::ptrdiff_t>(shards))));
+    }
+  }
+  return cells;
+}
+
+std::vector<IntrusivenessCell> CampaignRunner::run_intrusiveness() {
+  scan_faultloads();
+
+  const std::size_t n_cells = opt_.versions.size() * opt_.servers.size();
+  std::vector<IntrusivenessCell> cells(n_cells);
+
+  // Two tasks per cell: 0 = max-performance baseline, 1 = profile mode.
+  // Both use the cell's task-0 seed so the degradation comparison is paired
+  // (same workload stream), exactly like the sequential Table 4 bench.
+  run_tasks(n_cells * 2, [&](std::size_t idx) {
+    const std::size_t cell = idx / 2;
+    const auto version = opt_.versions[cell / opt_.servers.size()];
+    const auto& server = opt_.servers[cell % opt_.servers.size()];
+    const auto cfg = cell_config(server, opt_);
+    const auto seed = derive_seed(opt_.seed, cell, 0);
+    Controller ctl(version, server, cfg);
+    if (idx % 2 == 0) {
+      cells[cell].max_perf = ctl.run_baseline(opt_.baseline_window_ms, seed);
+    } else {
+      cells[cell].profile = ctl.run_profile_mode(
+          faultload_for(version), opt_.baseline_window_ms, seed);
+    }
+  });
+
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    cells[cell].os_name =
+        os::os_version_name(opt_.versions[cell / opt_.servers.size()]);
+    cells[cell].server_name = opt_.servers[cell % opt_.servers.size()];
+  }
+  return cells;
+}
+
+}  // namespace gf::depbench

@@ -1,0 +1,96 @@
+// Sharded parallel campaign runner.
+//
+// The paper's Table 5 matrix (2 servers x 2 OS versions x 3 iterations) is
+// embarrassingly parallel: every cell task runs against its own SUB. The
+// runner fans baseline/iteration tasks across a std::thread pool where each
+// task builds a fully independent Controller (own kernel, VM, disk, server)
+// and draws its seed from SplitMix64(campaign seed, cell index, task index).
+// Results land in preallocated slots indexed by (cell, task), so the merge
+// is order-independent by construction and `jobs = N` is bit-identical to
+// `jobs = 1`.
+//
+// One iteration can additionally be split into `shards` disjoint fault-index
+// subsets via the controller's fault_stride/fault_offset mechanism: shard s
+// of S covers faultload indices {s*stride, s*stride + S*stride, ...}. Shard
+// results are merged with merge_shards() (counters sum exactly; window
+// metrics merge conservatively, see merge_windows()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "depbench/report.h"
+#include "swfit/faultload.h"
+
+namespace gf::depbench {
+
+struct RunnerOptions {
+  std::vector<os::OsVersion> versions{os::OsVersion::kVos2000,
+                                      os::OsVersion::kVosXp};
+  std::vector<std::string> servers{"apex", "abyssal"};
+  int iterations = 3;
+  int stride = 6;        ///< inject every k-th fault of the faultload
+  int shards = 1;        ///< disjoint fault-index shards per iteration
+  double time_scale = 1.0;
+  double baseline_window_ms = 120000;
+  std::uint64_t seed = 1;
+  int jobs = 0;          ///< worker threads; 0 = hardware_concurrency
+};
+
+/// Per-task seed: a pure function of (campaign seed, cell, task) so a task's
+/// result never depends on scheduling order or worker count.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t cell,
+                          std::uint64_t task) noexcept;
+
+/// Exact, order-independent merge of shard counters (plain field sums).
+CampaignCounters merge_counters(const CampaignCounters& a,
+                                const CampaignCounters& b) noexcept;
+
+/// Order-independent merge of two shard windows: raw counters (duration,
+/// ops, errors, bytes) sum exactly; THR/RTM/ER% are recomputed from the
+/// sums; SPC/CC% take the conservative minimum (a connection only conforms
+/// if it conformed in every shard it was measured in).
+spec::WindowMetrics merge_windows(const spec::WindowMetrics& a,
+                                  const spec::WindowMetrics& b) noexcept;
+
+/// Folds the shard results of one iteration; the single-shard case is the
+/// identity, so shards = 1 reproduces an unsharded run bit-exactly.
+IterationResult merge_shards(const std::vector<IterationResult>& shards);
+
+/// Table 4 result for one cell.
+struct IntrusivenessCell {
+  std::string os_name;
+  std::string server_name;
+  spec::WindowMetrics max_perf;  ///< no injector at all
+  spec::WindowMetrics profile;   ///< injector in profile mode (no patching)
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerOptions opt) : opt_(std::move(opt)) {}
+
+  /// Table 5: per cell a profile-mode baseline plus `iterations` full
+  /// injection iterations (each split into `shards` disjoint fault shards).
+  std::vector<ExperimentCell> run_campaign();
+
+  /// Table 4: per cell a max-performance baseline plus a profile-mode run,
+  /// both with the same derived seed so the pair stays directly comparable.
+  std::vector<IntrusivenessCell> run_intrusiveness();
+
+  const RunnerOptions& options() const noexcept { return opt_; }
+
+ private:
+  void scan_faultloads();
+  const swfit::Faultload& faultload_for(os::OsVersion v) const;
+  /// Runs `count` tasks on the worker pool; rethrows the first task error.
+  void run_tasks(std::size_t count,
+                 const std::function<void(std::size_t)>& task) const;
+
+  RunnerOptions opt_;
+  std::vector<std::pair<os::OsVersion, swfit::Faultload>> faultloads_;
+};
+
+}  // namespace gf::depbench

@@ -17,21 +17,34 @@ void encode(const Instr& in, std::uint8_t* out) noexcept {
 }
 
 std::optional<Instr> decode(const std::uint8_t* bytes) noexcept {
-  if (bytes[0] >= static_cast<std::uint8_t>(Op::kOpCount_)) return std::nullopt;
   Instr in;
-  in.op = static_cast<Op>(bytes[0]);
-  in.rd = bytes[1];
-  in.rs1 = bytes[2];
-  in.rs2 = bytes[3];
+  if (!decode_into(bytes, in)) return std::nullopt;
+  return in;
+}
+
+bool decode_into(const std::uint8_t* bytes, Instr& out) noexcept {
+  if (bytes[0] >= static_cast<std::uint8_t>(Op::kOpCount_)) return false;
+  out.op = static_cast<Op>(bytes[0]);
+  out.rd = bytes[1];
+  out.rs1 = bytes[2];
+  out.rs2 = bytes[3];
   const std::uint32_t u = static_cast<std::uint32_t>(bytes[4]) |
                           (static_cast<std::uint32_t>(bytes[5]) << 8) |
                           (static_cast<std::uint32_t>(bytes[6]) << 16) |
                           (static_cast<std::uint32_t>(bytes[7]) << 24);
-  in.imm = static_cast<std::int32_t>(u);
-  if (in.rd >= kNumRegs || in.rs1 >= kNumRegs || in.rs2 >= kNumRegs) {
-    return std::nullopt;
+  out.imm = static_cast<std::int32_t>(u);
+  return out.rd < kNumRegs && out.rs1 < kNumRegs && out.rs2 < kNumRegs;
+}
+
+void decode_block(const std::uint8_t* bytes, std::size_t nbytes,
+                  std::vector<Instr>& out) {
+  const std::size_t n = nbytes / kInstrSize;
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!decode_into(bytes + i * kInstrSize, out[i])) {
+      out[i] = Instr{Op::kOpCount_, 0, 0, 0, 0};
+    }
   }
-  return in;
 }
 
 bool is_branch(Op op) noexcept {

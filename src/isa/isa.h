@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace gf::isa {
 
@@ -102,6 +103,18 @@ void encode(const Instr& in, std::uint8_t* out) noexcept;
 
 /// Decodes kInstrSize bytes. Returns nullopt for an invalid opcode byte.
 std::optional<Instr> decode(const std::uint8_t* bytes) noexcept;
+
+/// Allocation-free twin of decode() for hot paths: decodes kInstrSize bytes
+/// into `out`. Returns false (leaving `out` unspecified) for an invalid
+/// encoding.
+bool decode_into(const std::uint8_t* bytes, Instr& out) noexcept;
+
+/// Decodes `nbytes / kInstrSize` consecutive instructions into `out`
+/// (resized to that count). Undecodable slots are stored with
+/// op == Op::kOpCount_, which no interpreter path will ever execute — the
+/// predecode side-table of the VM uses this as its "bad opcode" marker.
+void decode_block(const std::uint8_t* bytes, std::size_t nbytes,
+                  std::vector<Instr>& out);
 
 /// Instruction-class predicates used by the VM and the mutation scanner.
 bool is_branch(Op op) noexcept;       ///< conditional jump

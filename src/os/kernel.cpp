@@ -25,6 +25,17 @@ Kernel::Kernel(OsVersion version)
 
 void Kernel::sync_code() { machine_->reload_code(active_); }
 
+void Kernel::sync_code(std::uint64_t addr, std::uint64_t len) {
+  if (len == 0) return;
+  if (addr < active_.base() || addr + len > active_.end()) {
+    sync_code();  // out-of-image window: fall back to the full copy
+    return;
+  }
+  const auto off = static_cast<std::size_t>(addr - active_.base());
+  machine_->patch_code(addr, active_.code().data() + off,
+                       static_cast<std::size_t>(len));
+}
+
 std::uint64_t Kernel::api_addr(const std::string& name) const {
   const auto* sym = active_.find_symbol(name);
   if (sym == nullptr) throw std::out_of_range("no such API function: " + name);

@@ -36,8 +36,15 @@ class Kernel {
   /// Active image (the injector patches this, then calls sync_code()).
   isa::Image& active_image() noexcept { return active_; }
   const isa::Image& active_image() const noexcept { return active_; }
-  /// Copies the active image's bytes into VM memory.
+  /// Copies the active image's bytes into VM memory (and re-decodes the
+  /// VM's whole predecode cache — use the ranged overload when only a few
+  /// instructions changed).
   void sync_code();
+  /// Copies only [addr, addr+len) of the active image into VM memory and
+  /// re-decodes just the touched predecode slots. The injector uses this:
+  /// its patches span a handful of instructions, so a full-image sync per
+  /// fault swap would dominate campaign time.
+  void sync_code(std::uint64_t addr, std::uint64_t len);
 
   /// Address of a public API function (throws std::out_of_range if absent).
   std::uint64_t api_addr(const std::string& name) const;

@@ -36,7 +36,7 @@ bool remove_fault(isa::Image& img, const FaultLocation& fault) {
 bool Injector::inject(const FaultLocation& fault) {
   restore();
   if (!apply_fault(kernel_.active_image(), fault)) return false;
-  kernel_.sync_code();
+  kernel_.sync_code(fault.addr, fault.window() * isa::kInstrSize);
   active_ = fault;
   ++injections_;
   return true;
@@ -50,7 +50,7 @@ void Injector::restore() {
   if (!remove_fault(kernel_.active_image(), *active_)) {
     patch_window(kernel_.active_image(), active_->addr, active_->original);
   }
-  kernel_.sync_code();
+  kernel_.sync_code(active_->addr, active_->window() * isa::kInstrSize);
   active_.reset();
 }
 

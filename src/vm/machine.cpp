@@ -1,5 +1,6 @@
 #include "vm/machine.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -32,6 +33,7 @@ Machine::Machine(std::size_t mem_size) : mem_(mem_size, 0) {
 void Machine::load_image(const isa::Image& img) {
   reload_code(img);
   code_ranges_.push_back({img.base(), img.end()});
+  rebuild_predecode();
 }
 
 void Machine::reload_code(const isa::Image& img) {
@@ -42,6 +44,76 @@ void Machine::reload_code(const isa::Image& img) {
     throw std::runtime_error("image does not fit in VM memory: " + img.name());
   }
   std::memcpy(mem_.data() + img.base(), code.data(), code.size());
+  maybe_invalidate(img.base(), code.size());
+}
+
+bool Machine::patch_code(std::uint64_t addr, const void* data,
+                         std::size_t n) noexcept {
+  if (n == 0) return true;
+  if (addr >= mem_.size() || mem_.size() - addr < n) return false;
+  std::memcpy(mem_.data() + addr, data, n);
+  maybe_invalidate(addr, n);
+  return true;
+}
+
+void Machine::invalidate_code(std::uint64_t addr, std::uint64_t len) noexcept {
+  if (predecoded_.empty() || len == 0) return;
+  if (addr >= code_hi_) return;
+  const std::uint64_t end =
+      len > code_hi_ - addr ? code_hi_ : addr + len;  // overflow-safe clamp
+  if (end <= code_lo_) return;
+  const std::uint64_t lo = addr > code_lo_ ? addr : code_lo_;
+  std::size_t s = static_cast<std::size_t>((lo - code_lo_) / kInstrSize);
+  const auto e = static_cast<std::size_t>(
+      (end - code_lo_ + kInstrSize - 1) / kInstrSize);
+  for (; s < e; ++s) {
+    if (!slot_valid_[s]) continue;
+    const std::uint8_t* p = mem_.data() + code_lo_ + s * kInstrSize;
+    if (!isa::decode_into(p, predecoded_[s])) {
+      predecoded_[s] = Instr{Op::kOpCount_, 0, 0, 0, 0};
+    }
+  }
+}
+
+void Machine::set_predecode(bool enabled) {
+  predecode_ = enabled;
+  rebuild_predecode();
+}
+
+void Machine::rebuild_predecode() {
+  predecoded_.clear();
+  slot_valid_.clear();
+  code_lo_ = code_hi_ = 0;
+  if (!predecode_ || code_ranges_.empty()) return;
+  code_lo_ = code_ranges_.front().lo;
+  for (const auto& r : code_ranges_) {
+    // The slot grid only works when every image starts on an instruction
+    // boundary (always true for compiler/assembler output). A misaligned
+    // base falls back to the per-step decode path.
+    if (r.lo % kInstrSize != 0) {
+      code_lo_ = code_hi_ = 0;
+      return;
+    }
+    code_lo_ = std::min(code_lo_, r.lo);
+    code_hi_ = std::max(code_hi_, r.hi);
+  }
+  const auto slots =
+      static_cast<std::size_t>((code_hi_ - code_lo_ + kInstrSize - 1) / kInstrSize);
+  predecoded_.assign(slots, Instr{Op::kOpCount_, 0, 0, 0, 0});
+  slot_valid_.assign(slots, 0);
+  for (const auto& r : code_ranges_) {
+    for (std::uint64_t a = r.lo; a + kInstrSize <= r.hi; a += kInstrSize) {
+      const auto s = static_cast<std::size_t>((a - code_lo_) / kInstrSize);
+      slot_valid_[s] = 1;
+    }
+  }
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (!slot_valid_[s]) continue;
+    if (!isa::decode_into(mem_.data() + code_lo_ + s * kInstrSize,
+                          predecoded_[s])) {
+      predecoded_[s] = Instr{Op::kOpCount_, 0, 0, 0, 0};
+    }
+  }
 }
 
 void Machine::set_stack_region(std::uint64_t lo, std::uint64_t hi) {
@@ -58,6 +130,7 @@ bool Machine::read_u8(std::uint64_t addr, std::uint8_t& out) const noexcept {
 bool Machine::write_u8(std::uint64_t addr, std::uint8_t v) noexcept {
   if (addr < kNullPageSize || addr >= mem_.size()) return false;
   mem_[addr] = v;
+  maybe_invalidate(addr, 1);
   return true;
 }
 
@@ -73,6 +146,7 @@ bool Machine::write_u64(std::uint64_t addr, std::uint64_t v) noexcept {
   if (addr < kNullPageSize || addr >= mem_.size() || mem_.size() - addr < 8)
     return false;
   std::memcpy(mem_.data() + addr, &v, 8);
+  maybe_invalidate(addr, 8);
   return true;
 }
 
@@ -89,24 +163,40 @@ bool Machine::write_bytes(std::uint64_t addr, const void* data, std::size_t n) n
   if (addr < kNullPageSize || addr >= mem_.size() || mem_.size() - addr < n)
     return false;
   std::memcpy(mem_.data() + addr, data, n);
+  maybe_invalidate(addr, n);
   return true;
 }
 
 bool Machine::read_cstr(std::uint64_t addr, std::string& out,
                         std::size_t max_len) const noexcept {
   out.clear();
-  for (std::size_t i = 0; i < max_len; ++i) {
-    std::uint8_t b;
-    if (!read_u8(addr + i, b)) return false;
-    if (b == 0) return true;
-    out.push_back(static_cast<char>(b));
-  }
-  return false;  // unterminated
+  if (addr < kNullPageSize || addr >= mem_.size()) return false;
+  // One bounds check plus memchr over guest memory instead of a per-byte
+  // checked read: this sits on the path of every path-string API call.
+  const auto avail = static_cast<std::size_t>(
+      std::min<std::uint64_t>(max_len, mem_.size() - addr));
+  const auto* base = mem_.data() + addr;
+  const auto* nul = static_cast<const std::uint8_t*>(std::memchr(base, 0, avail));
+  if (nul == nullptr) return false;  // unterminated within max_len / memory
+  out.assign(reinterpret_cast<const char*>(base),
+             static_cast<std::size_t>(nul - base));
+  return true;
 }
 
 bool Machine::in_code(std::uint64_t addr) const noexcept {
-  for (const auto& r : code_ranges_) {
+  // Straight-line execution almost always stays within one image, so the
+  // last-hit range makes the common case O(1) even without the predecode
+  // bitmap (which replaces this walk entirely on the fast path).
+  if (last_range_ < code_ranges_.size()) {
+    const auto& r = code_ranges_[last_range_];
     if (addr >= r.lo && addr + kInstrSize <= r.hi) return true;
+  }
+  for (std::size_t i = 0; i < code_ranges_.size(); ++i) {
+    const auto& r = code_ranges_[i];
+    if (addr >= r.lo && addr + kInstrSize <= r.hi) {
+      last_range_ = i;
+      return true;
+    }
   }
   return false;
 }
@@ -161,19 +251,39 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
 
   while (true) {
     if (cycles >= cycle_budget) return stop(Trap::kCycleLimit);
-    if (!in_code(pc) || pc % kInstrSize != 0) return stop(Trap::kBadJump);
 
-    if (coverage_) {
-      const std::size_t idx = pc / kInstrSize;
-      if (!covered_[idx]) {
-        covered_[idx] = true;
-        executed_.push_back(pc);
+    Instr in;
+    if (!predecoded_.empty()) {
+      // Fast path: one hull check + bitmap lookup + side-table fetch. The
+      // short-circuit keeps the slot index in-bounds before slot_valid_ is
+      // touched; pc - code_lo_ may wrap but is then never used.
+      const std::uint64_t rel = pc - code_lo_;
+      const auto slot = static_cast<std::size_t>(rel / kInstrSize);
+      if (pc < code_lo_ || pc + kInstrSize > code_hi_ ||
+          rel % kInstrSize != 0 || !slot_valid_[slot]) {
+        return stop(Trap::kBadJump);
       }
+      if (coverage_) {
+        const std::size_t idx = pc / kInstrSize;
+        if (!covered_[idx]) {
+          covered_[idx] = true;
+          executed_.push_back(pc);
+        }
+      }
+      in = predecoded_[slot];
+      if (in.op == Op::kOpCount_) return stop(Trap::kBadOpcode);
+    } else {
+      if (!in_code(pc) || pc % kInstrSize != 0) return stop(Trap::kBadJump);
+      if (coverage_) {
+        const std::size_t idx = pc / kInstrSize;
+        if (!covered_[idx]) {
+          covered_[idx] = true;
+          executed_.push_back(pc);
+        }
+      }
+      if (!isa::decode_into(mem_.data() + pc, in)) return stop(Trap::kBadOpcode);
     }
 
-    const auto decoded = isa::decode(mem_.data() + pc);
-    if (!decoded) return stop(Trap::kBadOpcode);
-    const Instr in = *decoded;
     std::uint64_t next = pc + kInstrSize;
     std::uint64_t cost = 1;
 

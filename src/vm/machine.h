@@ -70,6 +70,25 @@ class Machine {
   /// image must cover the same address range.
   void reload_code(const isa::Image& img);
 
+  /// Overwrites `n` code bytes at `addr` and refreshes the predecoded
+  /// instructions covering them. Unlike write_bytes this is exempt from the
+  /// null-page rule (it is a loader/injector primitive, not a guest access).
+  /// Returns false when [addr, addr+n) is not inside physical memory.
+  bool patch_code(std::uint64_t addr, const void* data, std::size_t n) noexcept;
+
+  /// Re-decodes the predecoded-instruction cache for every instruction slot
+  /// overlapping [addr, addr+len). Anything that mutates code bytes in VM
+  /// memory behind the accessors' back must call this; the checked write
+  /// accessors and patch_code/reload_code call it automatically.
+  void invalidate_code(std::uint64_t addr, std::uint64_t len) noexcept;
+
+  /// Predecoded dispatch is on by default: code is decoded once at load and
+  /// the hot loop indexes a flat side-table instead of re-decoding every
+  /// step. Turning it off falls back to per-step decode (kept for A/B
+  /// benchmarking); turning it back on rebuilds the cache from memory.
+  void set_predecode(bool enabled);
+  bool predecode() const noexcept { return predecode_; }
+
   void set_syscall_handler(SyscallHandler handler) { syscall_ = std::move(handler); }
 
   /// [lo, hi) range PUSH/POP must stay within; also used to position sp.
@@ -119,11 +138,30 @@ class Machine {
 
   bool in_code(std::uint64_t addr) const noexcept;
   RunResult execute(std::uint64_t pc, std::uint64_t cycle_budget);
+  void rebuild_predecode();
+  /// Cheap overlap test before the full invalidate — inlined into every
+  /// checked write so guest stores into the code region (possible under
+  /// mutated pointers) can never leave the predecode cache stale.
+  void maybe_invalidate(std::uint64_t addr, std::uint64_t len) noexcept {
+    if (!predecoded_.empty() && addr < code_hi_ && addr + len > code_lo_) {
+      invalidate_code(addr, len);
+    }
+  }
 
   std::vector<std::uint8_t> mem_;
   std::int64_t regs_[isa::kNumRegs] = {};
   int flags_ = 0;  ///< sign of last comparison: -1, 0, +1
   std::vector<CodeRange> code_ranges_;
+
+  // Predecode cache: one Instr per kInstrSize slot over the merged hull
+  // [code_lo_, code_hi_) of all loaded ranges. slot_valid_ marks slots that
+  // lie inside an actual image (holes between images stay kBadJump);
+  // undecodable bytes predecode to Op::kOpCount_ (the kBadOpcode marker).
+  bool predecode_ = true;
+  std::uint64_t code_lo_ = 0, code_hi_ = 0;
+  std::vector<isa::Instr> predecoded_;
+  std::vector<std::uint8_t> slot_valid_;
+  mutable std::size_t last_range_ = 0;  ///< in_code() last-hit cache
   std::uint64_t stack_lo_ = 0, stack_hi_ = 0;
   SyscallHandler syscall_;
   std::uint64_t total_cycles_ = 0;

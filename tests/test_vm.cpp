@@ -292,6 +292,106 @@ TEST(Vm, ReadCstrUnterminatedFails) {
   EXPECT_FALSE(m.read_cstr(0x3000, out, 3));
 }
 
+TEST(Vm, ReadCstrBoundaryConditions) {
+  Machine m;
+  EXPECT_TRUE(m.write_bytes(0x3000, "abc", 4));  // includes the NUL
+  std::string out;
+  // The terminator must lie within max_len bytes, exclusive of nothing:
+  // "abc\0" needs max_len >= 4.
+  EXPECT_FALSE(m.read_cstr(0x3000, out, 3));
+  EXPECT_TRUE(m.read_cstr(0x3000, out, 4));
+  EXPECT_EQ(out, "abc");
+  // Null page and out-of-memory addresses fail outright.
+  EXPECT_FALSE(m.read_cstr(0x10, out));
+  EXPECT_FALSE(m.read_cstr(m.mem_size(), out));
+  EXPECT_FALSE(m.read_cstr(static_cast<std::uint64_t>(-1), out));
+  // A string running unterminated into the end of memory fails.
+  const std::uint64_t tail = m.mem_size() - 4;
+  EXPECT_TRUE(m.write_bytes(tail, "xxxx", 4));
+  EXPECT_FALSE(m.read_cstr(tail, out));
+  // max_len = 0 can never find a terminator.
+  EXPECT_FALSE(m.read_cstr(0x3000, out, 0));
+}
+
+TEST(Vm, GuestStoreIntoCodeIsExecutedFresh) {
+  // Self-modifying guest code: a store that lands inside the code range
+  // must invalidate the predecoded instruction so the mutated bytes (and
+  // not the stale decode) execute. The imm byte of `movi r0, 1` (4th
+  // instruction, byte offset 4) is overwritten with 99 before it runs.
+  const char* src = R"(
+    f:
+      movi r3, 0x101C
+      movi r2, 99
+      stb [r3], r2
+      movi r0, 1
+      ret
+  )";
+  for (const bool predecode : {true, false}) {
+    Machine m;
+    const auto img = assemble(src, "t", 0x1000);
+    m.load_image(img);
+    m.set_predecode(predecode);
+    const auto r = m.call(img.find_symbol("f")->addr, {}, 1000);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.ret, 99) << "predecode=" << predecode;
+  }
+}
+
+TEST(Vm, InvalidateCodeRefreshesPredecodedSlots) {
+  Machine m;
+  const auto img = assemble("f:\n  movi r0, 1\n  ret\n", "t", 0x1000);
+  m.load_image(img);
+  const auto addr = img.find_symbol("f")->addr;
+  EXPECT_EQ(m.call(addr, {}, 1000).ret, 1);
+  // Patch the code via the loader primitive: new imm, then re-run.
+  std::uint8_t bytes[isa::kInstrSize];
+  isa::encode({isa::Op::kMovI, 0, 0, 0, 77}, bytes);
+  EXPECT_TRUE(m.patch_code(addr, bytes, sizeof bytes));
+  EXPECT_EQ(m.call(addr, {}, 1000).ret, 77);
+  // And via an explicit invalidate after an out-of-band mutation through
+  // the checked writer (which also self-invalidates; the explicit call must
+  // at minimum be harmless and idempotent).
+  m.invalidate_code(addr, isa::kInstrSize);
+  EXPECT_EQ(m.call(addr, {}, 1000).ret, 77);
+}
+
+TEST(Vm, SetPredecodeOffMatchesDefaultPath) {
+  const char* src = R"(
+    f:
+      movi r2, 10
+      movi r0, 0
+    loop:
+      add r0, r0, r2
+      addi r2, r2, -1
+      cmpi r2, 0
+      jgt @loop
+      ret
+  )";
+  Machine fast, slow;
+  const auto img = assemble(src, "t", 0x1000);
+  fast.load_image(img);
+  slow.load_image(img);
+  slow.set_predecode(false);
+  const auto a = fast.call(img.find_symbol("f")->addr, {}, 10000);
+  const auto b = slow.call(img.find_symbol("f")->addr, {}, 10000);
+  EXPECT_EQ(a.trap, b.trap);
+  EXPECT_EQ(a.ret, b.ret);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Vm, JumpIntoGapBetweenImagesTraps) {
+  // Two images leave a hole in the merged code hull; a jump into the hole
+  // must be kBadJump (not kBadOpcode), exactly as with the range walk.
+  Machine m;
+  const auto img1 = assemble("f:\n  jmp 0x3000\n", "a", 0x1000);
+  const auto img2 = assemble("g:\n  movi r0, 5\n  ret\n", "b", 0x5000);
+  m.load_image(img1);
+  m.load_image(img2);
+  EXPECT_EQ(m.call(img1.find_symbol("f")->addr, {}, 1000).trap, Trap::kBadJump);
+  // The second image stays reachable and predecoded.
+  EXPECT_EQ(m.call(img2.find_symbol("g")->addr, {}, 1000).ret, 5);
+}
+
 }  // namespace
 }  // namespace gf::vm
 

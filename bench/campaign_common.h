@@ -6,12 +6,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "depbench/report.h"
 #include "depbench/runner.h"
 #include "depbench/tuner.h"
 #include "swfit/scanner.h"
+#include "trace/activation.h"
+#include "util/log.h"
 
 namespace gf::benchrun {
 
@@ -22,6 +26,12 @@ struct CampaignOptions {
   int jobs = 0;             ///< worker threads; 0 = hardware_concurrency
   int shards = 1;           ///< fault-index shards per iteration
   std::uint64_t seed = 1;   ///< campaign seed (per-task seeds are derived)
+  double baseline_ms = 120000;      ///< profile-mode baseline window
+  bool activation_report = false;   ///< print the per-type x function report
+  std::string trace_out;            ///< JSONL activation event log path
+  std::string activation_json;      ///< summary-stats JSON path
+  bool trace() const { return activation_report || !trace_out.empty() ||
+                              !activation_json.empty(); }
 };
 
 inline CampaignOptions parse_options(int argc, char** argv) {
@@ -45,10 +55,20 @@ inline CampaignOptions parse_options(int argc, char** argv) {
       opt.shards = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--baseline-ms") == 0 && i + 1 < argc) {
+      opt.baseline_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--activation-report") == 0) {
+      opt.activation_report = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      opt.trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--activation-json") == 0 && i + 1 < argc) {
+      opt.activation_json = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick|--full] [--scale S] [--stride K] "
-                   "[--iterations N] [--jobs J] [--shards S] [--seed X]\n",
+                   "[--iterations N] [--jobs J] [--shards S] [--seed X] "
+                   "[--baseline-ms MS] [--activation-report] "
+                   "[--trace-out FILE.jsonl] [--activation-json FILE.json]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -64,6 +84,8 @@ inline depbench::RunnerOptions to_runner_options(const CampaignOptions& opt) {
   ropt.jobs = opt.jobs;
   ropt.shards = opt.shards;
   ropt.seed = opt.seed;
+  ropt.baseline_window_ms = opt.baseline_ms;
+  ropt.trace = opt.trace();
   return ropt;
 }
 
@@ -72,13 +94,66 @@ inline depbench::RunnerOptions to_runner_options(const CampaignOptions& opt) {
 /// same numbers as the sequential run, just faster.
 inline std::vector<depbench::ExperimentCell> run_all_cells(
     const CampaignOptions& opt) {
+  // Campaign benches narrate progress (one util::log line per completed
+  // cell) so long runs are observable.
+  if (util::log_level() > util::LogLevel::kInfo) {
+    util::set_log_level(util::LogLevel::kInfo);
+  }
   std::fprintf(stderr,
                "[campaign] 2 servers x 2 OS versions, stride %d, %d "
-               "iterations, %d shard(s), jobs=%s\n",
+               "iterations, %d shard(s), jobs=%s%s\n",
                opt.stride, opt.iterations, opt.shards,
-               opt.jobs > 0 ? std::to_string(opt.jobs).c_str() : "auto");
+               opt.jobs > 0 ? std::to_string(opt.jobs).c_str() : "auto",
+               opt.trace() ? ", tracing on" : "");
   depbench::CampaignRunner runner(to_runner_options(opt));
   return runner.run_campaign();
+}
+
+/// Activation outputs shared by the table5/fig5 drivers: prints the
+/// per-fault-type x per-OS-function report (--activation-report), writes the
+/// JSONL event log (--trace-out) and the summary stats (--activation-json).
+inline void emit_activation_outputs(
+    const std::vector<depbench::ExperimentCell>& cells,
+    const CampaignOptions& opt) {
+  if (!opt.trace()) return;
+
+  trace::ActivationStats stats;
+  for (const auto& cell : cells) {
+    stats.merge(trace::aggregate(depbench::collect_activations(cell)));
+  }
+
+  if (opt.activation_report) {
+    std::printf("\nActivation & error propagation (per traced exposure)\n%s\n",
+                trace::render_activation_report(stats).c_str());
+  }
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.trace_out.c_str());
+      std::exit(1);
+    }
+    for (const auto& cell : cells) {
+      for (std::size_t it = 0; it < cell.iterations.size(); ++it) {
+        trace::write_jsonl(out,
+                           cell.os_name + "/" + cell.server_name + "/iter" +
+                               std::to_string(it),
+                           cell.iterations[it].activations);
+      }
+    }
+    std::fprintf(stderr, "[campaign] activation event log -> %s\n",
+                 opt.trace_out.c_str());
+  }
+  if (!opt.activation_json.empty()) {
+    std::ofstream out(opt.activation_json);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.activation_json.c_str());
+      std::exit(1);
+    }
+    out << trace::activation_summary_json(stats);
+    std::fprintf(stderr, "[campaign] activation summary -> %s\n",
+                 opt.activation_json.c_str());
+  }
 }
 
 }  // namespace gf::benchrun

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
 
   const auto cells = benchrun::run_all_cells(opt);
   std::printf("%s", depbench::render_fig5(cells).c_str());
+  benchrun::emit_activation_outputs(cells, opt);
 
   // The paper's closing observation: the apex/abyssal relation is the same
   // on both OS versions (the faultloads expose an intrinsic BT property).

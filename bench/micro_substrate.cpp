@@ -17,18 +17,26 @@ namespace {
 using namespace gf;
 
 isa::Image dispatch_image() {
-  // Tight arithmetic loop: measures raw interpreter throughput.
+  // Tight arithmetic loop: measures raw interpreter throughput. `cold` is
+  // never called from `f` — it exists so a fault-window watch can be armed
+  // inside the code hull without any armed slot on the measured path.
   return minic::compile(
+      "fn cold(x) { return x + 1; } "
       "fn f(n) { var s = 0; var i = 0; while (i < n) { s = s + i * 3; "
       "i = i + 1; } return s; }",
       "bench", 0x1000);
 }
 
-void run_dispatch(benchmark::State& state, bool predecode) {
+void run_dispatch(benchmark::State& state, bool predecode,
+                  bool arm_cold_watch = false) {
   const auto img = dispatch_image();
   vm::Machine m;
   m.load_image(img);
   m.set_predecode(predecode);
+  if (arm_cold_watch) {
+    const auto cold = img.find_symbol("cold")->addr;
+    m.arm_watch(cold, cold + 2 * isa::kInstrSize);
+  }
   const auto addr = img.find_symbol("f")->addr;
   const std::int64_t n = state.range(0);
   for (auto _ : state) {
@@ -57,6 +65,16 @@ void BM_VmDispatchNoPredecode(benchmark::State& state) {
   run_dispatch(state, false);
 }
 BENCHMARK(BM_VmDispatchNoPredecode)->Arg(100000);
+
+/// Dispatch with a fault-window watch armed on a *never-executed* function:
+/// the src/trace cost model is that a disarmed (not-hit) watch is one
+/// never-taken branch on a byte the validity check already loads, so this
+/// must track BM_VmDispatch within noise (tests/test_trace.cpp guards the
+/// ratio; the acceptance bar is 3%).
+void BM_VmDispatchTraceDisarmed(benchmark::State& state) {
+  run_dispatch(state, true, /*arm_cold_watch=*/true);
+}
+BENCHMARK(BM_VmDispatchTraceDisarmed)->Arg(100000);
 
 void BM_MiniCCompileOs(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,20 +1,31 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Runs the micro-benchmark substrate with JSON output so each PR can record
-# a perf-trajectory point (BENCH_micro.json) comparable across revisions.
+# a perf-trajectory point (BENCH_micro.json) comparable across revisions,
+# then runs a short traced campaign to record the measured fault-activation
+# summary (BENCH_activation.json).
 #
 # Usage: bench/run_benches.sh [build-dir] [out.json] [extra benchmark args...]
-set -eu
+set -euo pipefail
 
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_micro.json}
+ACT_OUT=${ACT_OUT:-BENCH_activation.json}
 [ $# -ge 1 ] && shift
 [ $# -ge 1 ] && shift
 
-if [ ! -x "$BUILD_DIR/bench/micro_substrate" ]; then
-  echo "error: $BUILD_DIR/bench/micro_substrate not built" \
-       "(cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
-  exit 1
-fi
+for bin in bench/micro_substrate bench/table5_campaign; do
+  if [ ! -x "$BUILD_DIR/$bin" ]; then
+    echo "error: $BUILD_DIR/$bin not built" \
+         "(cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
 
-exec "$BUILD_DIR/bench/micro_substrate" \
+"$BUILD_DIR/bench/micro_substrate" \
   --benchmark_out="$OUT" --benchmark_out_format=json "$@"
+
+# Short traced campaign: wide stride + compressed exposure/baseline windows
+# keep this to a few seconds while still exercising every fault type.
+"$BUILD_DIR/bench/table5_campaign" --quick --scale 0.05 --baseline-ms 2000 \
+  --activation-json "$ACT_OUT" > /dev/null
+echo "activation summary written to $ACT_OUT" >&2

@@ -5,6 +5,11 @@
 // Flags: --quick (sampled faultload, 2 iterations), --full (every fault),
 // --scale/--stride/--iterations for fine control. Default: every 6th fault
 // at the paper's full 10 s exposure, 3 iterations.
+//
+// Tracing flags (src/trace): --activation-report prints the per-fault-type x
+// per-OS-function activation table, --trace-out FILE.jsonl dumps one JSON
+// event per traced exposure, --activation-json FILE.json writes summary
+// stats (used by bench/run_benches.sh for the quality trajectory).
 #include "campaign_common.h"
 
 int main(int argc, char** argv) {
@@ -19,6 +24,7 @@ int main(int argc, char** argv) {
   for (const auto& cell : cells) {
     std::printf("%s\n", depbench::render_table5_cell(cell).c_str());
   }
+  benchrun::emit_activation_outputs(cells, opt);
 
   std::printf("Shape checks (paper Table 5):\n");
   for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {

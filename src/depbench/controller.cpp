@@ -1,9 +1,10 @@
 #include "depbench/controller.h"
 
 #include <algorithm>
-
+#include <optional>
 #include <stdexcept>
 
+#include "trace/tracer.h"
 #include "util/log.h"
 
 namespace gf::depbench {
@@ -89,6 +90,27 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
   swfit::Injector injector(*kernel_);
   CampaignCounters counters;
 
+  // Activation & propagation tracing: armed per fault, finished (probed +
+  // classified) whenever the fault is removed, for whatever reason.
+  std::optional<trace::FaultTracer> tracer;
+  std::vector<trace::ActivationRecord> activations;
+  std::uint64_t errors_at_begin = 0;
+  if (cfg_.trace) {
+    tracer.emplace(*kernel_);
+    tracer->attach(*api_);
+    tracer->set_probe_per_call(cfg_.trace_probe_per_call);
+  }
+  auto finish_fault = [&] {
+    if (!tracer || !tracer->active()) return;
+    // Client-visible error responses during the exposure are externally
+    // observed failures (baseline ER% is zero). Server restarts reset the
+    // stats counter, but every restart path already notes the failure.
+    if (server_->stats().errors > errors_at_begin) {
+      tracer->note_external_failure();
+    }
+    activations.push_back(tracer->end_fault());
+  };
+
   // Monitor latencies shrink with the exposure so that scaled-down runs
   // keep the same downtime-to-exposure ratios as a full-length campaign.
   const double exposure = cfg_.fault_exposure_ms * cfg_.time_scale;
@@ -105,6 +127,7 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
   double server_up_at = -1;        ///< restart completion time
 
   auto begin_admin_restart = [&](double now) {
+    finish_fault();
     injector.restore();  // the 10 s exposure of this fault effectively ends
     server_->stop();
     kernel_->reboot();   // administrator reboots the corrupted OS
@@ -129,6 +152,7 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
 
     // 2. Fault schedule: swap the active fault every `exposure` ms.
     if (now >= next_swap) {
+      finish_fault();
       injector.restore();
       self_restarts_this_fault = 0;
       // Slot boundary (paper Fig. 4): the SUB is reset between slots; this
@@ -145,6 +169,11 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
       if (next_fault < fl.faults.size()) {
         if (!injector.inject(fl.faults[next_fault])) {
           throw std::runtime_error("stale faultload: window mismatch");
+        }
+        if (tracer) {
+          errors_at_begin = server_->stats().errors;
+          tracer->begin_fault(static_cast<std::uint32_t>(next_fault),
+                              fl.faults[next_fault]);
         }
         ++counters.faults_injected;
         ++injected_this_slot;
@@ -168,6 +197,9 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
     if (now - failure_noticed_at < detect) return;
     failure_noticed_at = -1;
 
+    // Any monitor intervention is an externally observed failure of the
+    // fault currently under exposure.
+    if (tracer) tracer->note_external_failure();
     switch (state) {
       case web::ServerState::kHung:
         ++counters.kns;  // killed: not responding to requests
@@ -212,6 +244,7 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
             << " er%=" << metrics.er_pct << " mis=" << counters.mis
             << " kns=" << counters.kns << " kcp=" << counters.kcp;
 
+  finish_fault();
   injector.restore();
   server_->stop();
   kernel_->reboot();
@@ -219,6 +252,8 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
   IterationResult result;
   result.metrics = metrics;
   result.counters = counters;
+  trace::sort_records(activations);
+  result.activations = std::move(activations);
   return result;
 }
 

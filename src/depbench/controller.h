@@ -18,11 +18,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "os/api.h"
 #include "os/kernel.h"
 #include "spec/client.h"
 #include "swfit/injector.h"
+#include "trace/activation.h"
 
 namespace gf::depbench {
 
@@ -44,6 +46,13 @@ struct ControllerConfig {
   /// Watchdog tolerance: self-restarts allowed per fault exposure before
   /// the monitor declares the server dead (MIS) and calls the admin.
   int self_restart_budget = 2;
+  /// Per-fault activation & propagation tracing (src/trace). Off by default:
+  /// with it off the VM hot loop is untouched (the armed bit is never set).
+  bool trace = false;
+  /// Probe kernel invariants at every OsApi call boundary while a fault is
+  /// live (more precise latency attribution for latent corruption, at a
+  /// per-call walk cost). Only meaningful when `trace` is on.
+  bool trace_probe_per_call = false;
   spec::ClientConfig client;  ///< timing model knobs
 };
 
@@ -61,6 +70,10 @@ struct CampaignCounters {
 struct IterationResult {
   spec::WindowMetrics metrics;
   CampaignCounters counters;
+  /// One record per injected fault when tracing is on (empty otherwise),
+  /// sorted by absolute faultload index — the canonical order that makes
+  /// shard merges independent of scheduling.
+  std::vector<trace::ActivationRecord> activations;
 };
 
 class Controller {

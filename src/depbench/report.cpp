@@ -31,6 +31,15 @@ spec::WindowMetrics average_iteration_metrics(
   return spec::average_metrics(ms);
 }
 
+std::vector<trace::ActivationRecord> collect_activations(
+    const ExperimentCell& cell) {
+  std::vector<trace::ActivationRecord> all;
+  for (const auto& it : cell.iterations) {
+    all.insert(all.end(), it.activations.begin(), it.activations.end());
+  }
+  return all;
+}
+
 DependabilityMetrics derive_metrics(const ExperimentCell& cell) {
   DependabilityMetrics d;
   const auto avg = average_iteration_metrics(cell.iterations);

@@ -40,6 +40,11 @@ struct DependabilityMetrics {
 
 DependabilityMetrics derive_metrics(const ExperimentCell& cell);
 
+/// Flattens a cell's activation records across iterations (iteration-major,
+/// each iteration already sorted by fault index).
+std::vector<trace::ActivationRecord> collect_activations(
+    const ExperimentCell& cell);
+
 /// Renders the Table 5 block for one cell (baseline + iterations + average).
 std::string render_table5_cell(const ExperimentCell& cell);
 

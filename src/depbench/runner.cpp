@@ -27,6 +27,8 @@ ControllerConfig cell_config(const std::string& server,
   cfg.connections = server == "apex" ? 37 : 34;
   cfg.time_scale = opt.time_scale;
   cfg.fault_stride = opt.stride;
+  cfg.trace = opt.trace;
+  cfg.trace_probe_per_call = opt.trace_probe_per_call;
   return cfg;
 }
 
@@ -80,7 +82,13 @@ IterationResult merge_shards(const std::vector<IterationResult>& shards) {
   for (std::size_t i = 1; i < shards.size(); ++i) {
     merged.metrics = merge_windows(merged.metrics, shards[i].metrics);
     merged.counters = merge_counters(merged.counters, shards[i].counters);
+    merged.activations.insert(merged.activations.end(),
+                              shards[i].activations.begin(),
+                              shards[i].activations.end());
   }
+  // Shards cover disjoint fault-index sets, so sorting by absolute index
+  // yields the same record sequence for any shard count or interleave.
+  trace::sort_records(merged.activations);
   return merged;
 }
 
@@ -147,6 +155,11 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
   // which is what makes the merge independent of scheduling order.
   std::vector<std::vector<IterationResult>> shard_results(
       n_cells, std::vector<IterationResult>(iters * shards));
+  // Per-cell countdown so campaign progress is narrated live (one line per
+  // completed cell) even though tasks finish in scheduler order.
+  std::vector<std::atomic<std::size_t>> remaining(n_cells);
+  for (auto& r : remaining) r.store(tasks_per_cell, std::memory_order_relaxed);
+  std::atomic<std::size_t> cells_done{0};
 
   run_tasks(n_cells * tasks_per_cell, [&](std::size_t idx) {
     const std::size_t cell = idx / tasks_per_cell;
@@ -161,13 +174,19 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
       Controller ctl(version, server, cfg);
       cells[cell].baseline =
           ctl.run_profile_mode(fl, opt_.baseline_window_ms, seed);
-      return;
+    } else {
+      const std::size_t shard = (task - 1) % shards;
+      cfg.fault_stride = opt_.stride * static_cast<int>(shards);
+      cfg.fault_offset = opt_.stride * static_cast<int>(shard);
+      Controller ctl(version, server, cfg);
+      shard_results[cell][task - 1] = ctl.run_iteration(fl, seed);
     }
-    const std::size_t shard = (task - 1) % shards;
-    cfg.fault_stride = opt_.stride * static_cast<int>(shards);
-    cfg.fault_offset = opt_.stride * static_cast<int>(shard);
-    Controller ctl(version, server, cfg);
-    shard_results[cell][task - 1] = ctl.run_iteration(fl, seed);
+    if (remaining[cell].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      GF_INFO() << "campaign cell done: " << server << " on "
+                << os::os_version_name(version) << " ("
+                << cells_done.fetch_add(1, std::memory_order_relaxed) + 1
+                << "/" << n_cells << " cells)";
+    }
   });
 
   for (std::size_t cell = 0; cell < n_cells; ++cell) {

@@ -38,6 +38,12 @@ struct RunnerOptions {
   double baseline_window_ms = 120000;
   std::uint64_t seed = 1;
   int jobs = 0;          ///< worker threads; 0 = hardware_concurrency
+  /// Per-fault activation & propagation tracing (fills
+  /// IterationResult::activations). Per-task seeds make the records a pure
+  /// function of (seed, cell, task), so they are bit-identical for any
+  /// `jobs`, and the fault-index sort makes shard merges order-independent.
+  bool trace = false;
+  bool trace_probe_per_call = false;
 };
 
 /// Per-task seed: a pure function of (campaign seed, cell, task) so a task's

@@ -1,5 +1,7 @@
 #include "depbench/tuner.h"
 
+#include <map>
+
 namespace gf::depbench {
 
 TunedFaultload tune_faultload(os::Kernel& kernel,
@@ -14,6 +16,36 @@ TunedFaultload tune_faultload(os::Kernel& kernel,
   swfit::Scanner scanner(scan_opts);
   out.faultload = scanner.scan(kernel.pristine_image(), out.functions);
   return out;
+}
+
+swfit::Faultload prune_by_measured_activation(
+    const swfit::Faultload& fl,
+    const std::vector<trace::ActivationRecord>& records,
+    double min_activation_rate) {
+  struct Tally {
+    std::uint64_t traced = 0;
+    std::uint64_t activated = 0;
+  };
+  std::map<std::uint32_t, Tally> tallies;
+  for (const auto& r : records) {
+    auto& t = tallies[r.fault_index];
+    ++t.traced;
+    if (r.activated()) ++t.activated;
+  }
+
+  swfit::Faultload pruned;
+  pruned.target = fl.target;
+  pruned.digest = fl.digest;
+  for (std::size_t i = 0; i < fl.faults.size(); ++i) {
+    const auto it = tallies.find(static_cast<std::uint32_t>(i));
+    if (it != tallies.end()) {
+      const double rate = static_cast<double>(it->second.activated) /
+                          static_cast<double>(it->second.traced);
+      if (rate < min_activation_rate) continue;  // measured, never fires
+    }
+    pruned.faults.push_back(fl.faults[i]);
+  }
+  return pruned;
 }
 
 }  // namespace gf::depbench

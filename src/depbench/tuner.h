@@ -7,6 +7,7 @@
 #include "depbench/profiler.h"
 #include "os/kernel.h"
 #include "swfit/scanner.h"
+#include "trace/activation.h"
 
 namespace gf::depbench {
 
@@ -24,5 +25,17 @@ TunedFaultload tune_faultload(os::Kernel& kernel,
                               const ProfilerConfig& pcfg = {},
                               const swfit::ScanOptions& scan_opts = {},
                               double min_avg_pct = 0.05);
+
+/// Measured-activation pruning (the closed fine-tuning loop): the static
+/// pipeline above keeps every fault inside heavily-used functions, but a
+/// campaign traced with src/trace measures which faults *actually* execute.
+/// Drops every fault that was injected (appears in `records`) yet whose
+/// measured activation rate — activated exposures / traced exposures across
+/// iterations — stays below `min_activation_rate`. Faults the campaign never
+/// exposed (e.g. skipped by the sampling stride) are conservatively kept.
+swfit::Faultload prune_by_measured_activation(
+    const swfit::Faultload& fl,
+    const std::vector<trace::ActivationRecord>& records,
+    double min_activation_rate = 1e-9);
 
 }  // namespace gf::depbench

@@ -17,6 +17,7 @@ ApiResult OsApi::call(const std::string& name,
   out.value = r.ret;
   out.trap = r.trap;
   out.cycles = r.cycles;
+  if (post_hook_) post_hook_(name, out);
   return out;
 }
 

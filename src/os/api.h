@@ -97,6 +97,13 @@ class OsApi {
     hook_ = std::move(hook);
   }
 
+  /// Hook invoked with (name, result) after every call returns — the
+  /// error-propagation observation point: the tracing subsystem classifies
+  /// crashes/hangs here and can checksum kernel invariants at the exact API
+  /// boundary where corruption first becomes observable.
+  using PostCallHook = std::function<void(const std::string&, const ApiResult&)>;
+  void set_post_call_hook(PostCallHook hook) { post_hook_ = std::move(hook); }
+
   std::uint64_t cycle_budget() const noexcept { return cycle_budget_; }
   void set_cycle_budget(std::uint64_t b) noexcept { cycle_budget_ = b; }
 
@@ -110,6 +117,7 @@ class OsApi {
   Kernel& kernel_;
   std::uint64_t cycle_budget_;
   std::function<void(const std::string&)> hook_;
+  PostCallHook post_hook_;
   std::uint64_t total_cycles_ = 0;
   std::uint64_t call_count_ = 0;
 };

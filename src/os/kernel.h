@@ -28,6 +28,7 @@ class Kernel {
 
   OsVersion version() const noexcept { return version_; }
   vm::Machine& machine() noexcept { return *machine_; }
+  const vm::Machine& machine() const noexcept { return *machine_; }
   SimDisk& disk() noexcept { return disk_; }
   const SimDisk& disk() const noexcept { return disk_; }
 

@@ -1,0 +1,176 @@
+#include "trace/activation.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace gf::trace {
+
+const char* outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::kNotActivated: return "not-activated";
+    case Outcome::kActivatedBenign: return "activated-benign";
+    case Outcome::kLatentStateCorruption: return "latent-state-corruption";
+    case Outcome::kExternalFailure: return "external-failure";
+  }
+  return "?";
+}
+
+void sort_records(std::vector<ActivationRecord>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const ActivationRecord& a, const ActivationRecord& b) {
+                     return a.fault_index < b.fault_index;
+                   });
+}
+
+void ActivationStats::add(const ActivationRecord& r) {
+  auto& c = cells[{r.type, r.function}];
+  ++c.injected;
+  if (r.activated()) ++c.activated;
+  switch (r.outcome) {
+    case Outcome::kNotActivated: break;
+    case Outcome::kActivatedBenign: ++c.benign; break;
+    case Outcome::kLatentStateCorruption: ++c.latent; break;
+    case Outcome::kExternalFailure: ++c.external; break;
+  }
+}
+
+void ActivationStats::merge(const ActivationStats& other) {
+  for (const auto& [key, c] : other.cells) {
+    auto& dst = cells[key];
+    dst.injected += c.injected;
+    dst.activated += c.activated;
+    dst.benign += c.benign;
+    dst.latent += c.latent;
+    dst.external += c.external;
+  }
+}
+
+namespace {
+
+void fold(ActivationCell& dst, const ActivationCell& c) {
+  dst.injected += c.injected;
+  dst.activated += c.activated;
+  dst.benign += c.benign;
+  dst.latent += c.latent;
+  dst.external += c.external;
+}
+
+}  // namespace
+
+ActivationCell ActivationStats::total() const {
+  ActivationCell t;
+  for (const auto& [key, c] : cells) fold(t, c);
+  return t;
+}
+
+std::vector<std::pair<swfit::FaultType, ActivationCell>>
+ActivationStats::by_type() const {
+  std::vector<std::pair<swfit::FaultType, ActivationCell>> out;
+  for (const auto& info : swfit::fault_type_table()) {
+    ActivationCell t;
+    for (const auto& [key, c] : cells) {
+      if (key.first == info.type) fold(t, c);
+    }
+    if (t.injected > 0) out.emplace_back(info.type, t);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, ActivationCell>>
+ActivationStats::by_function() const {
+  std::map<std::string, ActivationCell> folded;
+  for (const auto& [key, c] : cells) fold(folded[key.second], c);
+  return {folded.begin(), folded.end()};
+}
+
+ActivationStats aggregate(const std::vector<ActivationRecord>& records) {
+  ActivationStats stats;
+  for (const auto& r : records) stats.add(r);
+  return stats;
+}
+
+std::string render_activation_report(const ActivationStats& stats) {
+  std::ostringstream out;
+
+  util::Table by_type({"Fault type", "Injected", "Activated", "Act.%",
+                       "Benign", "Latent", "External"});
+  for (const auto& [type, c] : stats.by_type()) {
+    by_type.row()
+        .cell(swfit::fault_type_name(type))
+        .cell(static_cast<long long>(c.injected))
+        .cell(static_cast<long long>(c.activated))
+        .cell(100.0 * c.activation_rate(), 1)
+        .cell(static_cast<long long>(c.benign))
+        .cell(static_cast<long long>(c.latent))
+        .cell(static_cast<long long>(c.external));
+  }
+  const auto t = stats.total();
+  by_type.row()
+      .cell("TOTAL")
+      .cell(static_cast<long long>(t.injected))
+      .cell(static_cast<long long>(t.activated))
+      .cell(100.0 * t.activation_rate(), 1)
+      .cell(static_cast<long long>(t.benign))
+      .cell(static_cast<long long>(t.latent))
+      .cell(static_cast<long long>(t.external));
+
+  util::Table by_fn({"OS function", "Injected", "Activated", "Act.%",
+                     "Benign", "Latent", "External"});
+  for (const auto& [fn, c] : stats.by_function()) {
+    by_fn.row()
+        .cell(fn)
+        .cell(static_cast<long long>(c.injected))
+        .cell(static_cast<long long>(c.activated))
+        .cell(100.0 * c.activation_rate(), 1)
+        .cell(static_cast<long long>(c.benign))
+        .cell(static_cast<long long>(c.latent))
+        .cell(static_cast<long long>(c.external));
+  }
+
+  out << "Fault activation by fault type\n"
+      << by_type.to_string() << "\nFault activation by OS function\n"
+      << by_fn.to_string();
+  return out.str();
+}
+
+void write_jsonl(std::ostream& os, const std::string& context,
+                 const std::vector<ActivationRecord>& records) {
+  for (const auto& r : records) {
+    os << "{\"context\":\"" << context << "\",\"fault\":" << r.fault_index
+       << ",\"type\":\"" << swfit::fault_type_name(r.type)
+       << "\",\"function\":\"" << r.function << "\",\"hits\":" << r.hits
+       << ",\"first_hit_cycle\":" << r.first_hit_cycle
+       << ",\"edge_count\":" << r.edge_count << ",\"edges\":[";
+    for (std::size_t i = 0; i < r.edges.size(); ++i) {
+      if (i > 0) os << ',';
+      os << '[' << r.edges[i].from << ',' << r.edges[i].to << ']';
+    }
+    os << "],\"outcome\":\"" << outcome_name(r.outcome) << "\"}\n";
+  }
+}
+
+std::string activation_summary_json(const ActivationStats& stats) {
+  std::ostringstream out;
+  const auto t = stats.total();
+  out << "{\n  \"injected\": " << t.injected
+      << ",\n  \"activated\": " << t.activated << ",\n  \"activation_rate\": "
+      << util::fmt(t.activation_rate(), 4)
+      << ",\n  \"latent\": " << t.latent << ",\n  \"external\": " << t.external
+      << ",\n  \"by_type\": {";
+  bool first = true;
+  for (const auto& [type, c] : stats.by_type()) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n    \"" << swfit::fault_type_name(type)
+        << "\": {\"injected\": " << c.injected
+        << ", \"activated\": " << c.activated << ", \"rate\": "
+        << util::fmt(c.activation_rate(), 4) << '}';
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+}  // namespace gf::trace

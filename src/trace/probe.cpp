@@ -1,0 +1,83 @@
+#include "trace/probe.h"
+
+#include "os/kernel.h"
+#include "os/layout.h"
+
+namespace gf::trace {
+
+namespace lay = os::layout;
+
+namespace {
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+InvariantSnapshot snapshot_invariants(const os::Kernel& kernel) {
+  const auto& m = kernel.machine();
+  InvariantSnapshot snap;
+
+  // --- heap free list ------------------------------------------------------
+  constexpr std::uint64_t kArenaLo = lay::kHeapArena;
+  constexpr std::uint64_t kArenaHi = lay::kHeapArenaEnd;
+  constexpr std::uint64_t kHdr = static_cast<std::uint64_t>(lay::kBlockHeader);
+  // A free block occupies at least kHdr + 16 bytes, which bounds the list
+  // length; anything longer is a cycle.
+  constexpr std::uint64_t kMaxNodes = (kArenaHi - kArenaLo) / (kHdr + 16) + 1;
+
+  std::uint64_t cur = 0;
+  if (!m.read_u64(lay::kHeapCtl, cur)) {
+    snap.heap_ok = false;
+  }
+  std::uint64_t prev = 0;
+  while (snap.heap_ok && cur != 0) {
+    if (cur < kArenaLo || cur + kHdr > kArenaHi || cur % 16 != 0 ||
+        (prev != 0 && cur <= prev) || snap.heap_free_nodes >= kMaxNodes) {
+      snap.heap_ok = false;
+      break;
+    }
+    std::uint64_t size_raw = 0, next = 0;
+    if (!m.read_u64(cur, size_raw) || !m.read_u64(cur + 8, next)) {
+      snap.heap_ok = false;
+      break;
+    }
+    const auto size = static_cast<std::int64_t>(size_raw);
+    if (size <= 0 ||
+        cur + kHdr + static_cast<std::uint64_t>(size) > kArenaHi) {
+      snap.heap_ok = false;
+      break;
+    }
+    snap.heap_checksum = fold(fold(snap.heap_checksum, cur), size_raw);
+    ++snap.heap_free_nodes;
+    prev = cur;
+    cur = next;
+  }
+
+  // --- handle table --------------------------------------------------------
+  for (std::int64_t i = 0; i < lay::kMaxHandles; ++i) {
+    const std::uint64_t base =
+        lay::kHandleTable + static_cast<std::uint64_t>(i) * 32;
+    std::uint64_t type = 0, file_id = 0, pos = 0;
+    if (!m.read_u64(base, type) || !m.read_u64(base + 8, file_id) ||
+        !m.read_u64(base + 16, pos)) {
+      snap.handles_ok = false;
+      break;
+    }
+    if (type == 0) continue;  // free entry
+    if (type != 1 || static_cast<std::int64_t>(file_id) < 0 ||
+        static_cast<std::int64_t>(pos) < 0) {
+      snap.handles_ok = false;
+      break;
+    }
+    snap.handle_checksum = fold(
+        fold(fold(snap.handle_checksum, static_cast<std::uint64_t>(i)), file_id),
+        pos);
+  }
+
+  return snap;
+}
+
+}  // namespace gf::trace

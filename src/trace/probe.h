@@ -1,0 +1,40 @@
+// Kernel-invariant probe (the error-propagation layer's state oracle).
+//
+// A fault can corrupt guest OS state long before a client notices anything.
+// The probe checksums the designated kernel invariants from outside the VM
+// (reading guest memory directly, so the probe itself can never trip an
+// injected fault):
+//
+//   - heap free list: every node inside the arena, 16-aligned, positive
+//     in-bounds size, strictly address-ordered (the allocator maintains an
+//     address-ordered list with coalescing), walk terminates;
+//   - handle table: every entry has a known type, and file handles carry a
+//     non-negative file id and position.
+//
+// A violated invariant with no client-visible failure is exactly the
+// paper-adjacent "latent state corruption" class.
+#pragma once
+
+#include <cstdint>
+
+namespace gf::os {
+class Kernel;
+}
+
+namespace gf::trace {
+
+struct InvariantSnapshot {
+  bool heap_ok = true;
+  bool handles_ok = true;
+  std::uint64_t heap_free_nodes = 0;  ///< free-list length at snapshot time
+  std::uint64_t heap_checksum = 0;    ///< fold of (node addr, size) pairs
+  std::uint64_t handle_checksum = 0;  ///< fold of live handle entries
+
+  bool ok() const noexcept { return heap_ok && handles_ok; }
+};
+
+/// Walks the kernel's guest-side heap free list and handle table. Never
+/// throws and never executes guest code.
+InvariantSnapshot snapshot_invariants(const os::Kernel& kernel);
+
+}  // namespace gf::trace

@@ -1,0 +1,78 @@
+#include "trace/tracer.h"
+
+#include "isa/isa.h"
+
+namespace gf::trace {
+
+FaultTracer::~FaultTracer() {
+  if (active_) kernel_.machine().disarm_watch();
+  if (api_ != nullptr) api_->set_post_call_hook(nullptr);
+}
+
+void FaultTracer::attach(os::OsApi& api) {
+  api_ = &api;
+  api.set_post_call_hook(
+      [this](const std::string&, const os::ApiResult& r) { on_api_call(r); });
+}
+
+void FaultTracer::begin_fault(std::uint32_t fault_index,
+                              const swfit::FaultLocation& fault) {
+  index_ = fault_index;
+  type_ = fault.type;
+  function_ = fault.function;
+  external_ = false;
+  latent_seen_ = false;
+  active_ = true;
+  baseline_ = snapshot_invariants(kernel_);
+  kernel_.machine().arm_watch(
+      fault.addr, fault.addr + fault.window() * isa::kInstrSize);
+}
+
+void FaultTracer::on_api_call(const os::ApiResult& result) {
+  if (!active_) return;
+  // A crash or hang escaping an OS API call is externally observable — the
+  // serving process dies or sticks, which is what the monitor kills for.
+  if (result.crashed() || result.hung()) external_ = true;
+  if (probe_per_call_ && !latent_seen_ &&
+      kernel_.machine().watch_trace().hits > 0) {
+    if (!snapshot_invariants(kernel_).ok()) latent_seen_ = true;
+  }
+}
+
+ActivationRecord FaultTracer::end_fault() {
+  auto& m = kernel_.machine();
+  const auto& trace = m.watch_trace();
+
+  ActivationRecord rec;
+  rec.fault_index = index_;
+  rec.type = type_;
+  rec.function = function_;
+  rec.hits = trace.hits;
+  rec.first_hit_cycle = trace.first_hit_cycle;
+  rec.edge_count = trace.edge_count;
+  rec.edges = trace.edges();
+  m.disarm_watch();
+  active_ = false;
+
+  if (rec.hits == 0) {
+    rec.outcome = Outcome::kNotActivated;
+    return rec;
+  }
+  if (external_) {
+    rec.outcome = Outcome::kExternalFailure;
+    return rec;
+  }
+  // Activated without a client-visible failure: damaged-but-silent kernel
+  // state is the latent class. The baseline guards against blaming this
+  // fault for damage inherited from a previous exposure (reboots heal it,
+  // but belt and braces).
+  const auto after = snapshot_invariants(kernel_);
+  if (latent_seen_ || (baseline_.ok() && !after.ok())) {
+    rec.outcome = Outcome::kLatentStateCorruption;
+  } else {
+    rec.outcome = Outcome::kActivatedBenign;
+  }
+  return rec;
+}
+
+}  // namespace gf::trace

@@ -1,0 +1,72 @@
+// FaultTracer: per-fault activation & propagation monitor.
+//
+// The controller drives it in lockstep with the injector: begin_fault() arms
+// the VM watch on the patched instruction window and snapshots the kernel
+// invariants; end_fault() disarms, re-probes, and classifies the exposure
+// into {not-activated, activated-benign, latent-state-corruption,
+// external-failure}. attach() additionally hooks the OsApi call boundary so
+// crashes/hangs escaping an API call are noted as externally observed and —
+// when per-call probing is on — state corruption is detected at the first
+// API boundary after it happens, before any client-visible error.
+//
+// Lineage: ProFIPy treats activation/propagation monitoring as a first-class
+// injection-campaign output; ZOFI insists the monitoring must cost ~zero
+// when disarmed (here: one never-taken branch per dispatched instruction).
+#pragma once
+
+#include <cstdint>
+
+#include "os/api.h"
+#include "os/kernel.h"
+#include "swfit/faultload.h"
+#include "trace/activation.h"
+#include "trace/probe.h"
+
+namespace gf::trace {
+
+class FaultTracer {
+ public:
+  explicit FaultTracer(os::Kernel& kernel) : kernel_(kernel) {}
+  ~FaultTracer();
+
+  FaultTracer(const FaultTracer&) = delete;
+  FaultTracer& operator=(const FaultTracer&) = delete;
+
+  /// Hooks the API facade's post-call boundary (crash/hang observation and
+  /// optional per-call invariant probing). The tracer must outlive no one:
+  /// it detaches in its destructor.
+  void attach(os::OsApi& api);
+
+  /// Probe invariants at every API call boundary while a fault is active
+  /// (off by default: the end-of-exposure probe is enough to classify, the
+  /// per-call probe additionally timestamps when corruption appears).
+  void set_probe_per_call(bool enabled) noexcept { probe_per_call_ = enabled; }
+
+  /// Arms the watch on `fault`'s instruction window and snapshots the
+  /// invariant baseline. `fault_index` is the absolute faultload index.
+  void begin_fault(std::uint32_t fault_index, const swfit::FaultLocation& fault);
+
+  /// External-failure observation (monitor kill, client-visible errors).
+  void note_external_failure() noexcept { external_ = true; }
+
+  /// Disarms, probes, classifies; returns the finished record.
+  ActivationRecord end_fault();
+
+  bool active() const noexcept { return active_; }
+
+ private:
+  void on_api_call(const os::ApiResult& result);
+
+  os::Kernel& kernel_;
+  os::OsApi* api_ = nullptr;
+  bool active_ = false;
+  bool probe_per_call_ = false;
+  bool external_ = false;
+  bool latent_seen_ = false;  ///< per-call probe caught corruption mid-exposure
+  std::uint32_t index_ = 0;
+  swfit::FaultType type_ = swfit::FaultType::kMVI;
+  std::string function_;
+  InvariantSnapshot baseline_;
+};
+
+}  // namespace gf::trace

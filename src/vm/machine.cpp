@@ -24,6 +24,19 @@ const char* trap_name(Trap t) noexcept {
   return "?";
 }
 
+std::vector<TraceEdge> WatchTrace::edges() const {
+  std::vector<TraceEdge> out;
+  const std::uint64_t n = edge_count < kEdgeRing ? edge_count : kEdgeRing;
+  out.reserve(static_cast<std::size_t>(n));
+  // Ring slots are written at edge_count % kEdgeRing; oldest surviving entry
+  // starts the chronological order.
+  const std::uint64_t first = edge_count - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring[static_cast<std::size_t>((first + i) % kEdgeRing)]);
+  }
+  return out;
+}
+
 Machine::Machine(std::size_t mem_size) : mem_(mem_size, 0) {
   // Default stack: top 64 KiB of memory.
   stack_hi_ = mem_.size();
@@ -66,8 +79,10 @@ void Machine::invalidate_code(std::uint64_t addr, std::uint64_t len) noexcept {
   std::size_t s = static_cast<std::size_t>((lo - code_lo_) / kInstrSize);
   const auto e = static_cast<std::size_t>(
       (end - code_lo_ + kInstrSize - 1) / kInstrSize);
+  // Only re-decodes; slot flags (validity, armed bits) are left untouched,
+  // so an armed fault window survives the inject/restore patches it watches.
   for (; s < e; ++s) {
-    if (!slot_valid_[s]) continue;
+    if (!(slot_flags_[s] & kSlotValid)) continue;
     const std::uint8_t* p = mem_.data() + code_lo_ + s * kInstrSize;
     if (!isa::decode_into(p, predecoded_[s])) {
       predecoded_[s] = Instr{Op::kOpCount_, 0, 0, 0, 0};
@@ -82,7 +97,7 @@ void Machine::set_predecode(bool enabled) {
 
 void Machine::rebuild_predecode() {
   predecoded_.clear();
-  slot_valid_.clear();
+  slot_flags_.clear();
   code_lo_ = code_hi_ = 0;
   if (!predecode_ || code_ranges_.empty()) return;
   code_lo_ = code_ranges_.front().lo;
@@ -100,20 +115,62 @@ void Machine::rebuild_predecode() {
   const auto slots =
       static_cast<std::size_t>((code_hi_ - code_lo_ + kInstrSize - 1) / kInstrSize);
   predecoded_.assign(slots, Instr{Op::kOpCount_, 0, 0, 0, 0});
-  slot_valid_.assign(slots, 0);
+  slot_flags_.assign(slots, 0);
   for (const auto& r : code_ranges_) {
     for (std::uint64_t a = r.lo; a + kInstrSize <= r.hi; a += kInstrSize) {
       const auto s = static_cast<std::size_t>((a - code_lo_) / kInstrSize);
-      slot_valid_[s] = 1;
+      slot_flags_[s] = kSlotValid;
     }
   }
   for (std::size_t s = 0; s < slots; ++s) {
-    if (!slot_valid_[s]) continue;
+    if (!(slot_flags_[s] & kSlotValid)) continue;
     if (!isa::decode_into(mem_.data() + code_lo_ + s * kInstrSize,
                           predecoded_[s])) {
       predecoded_[s] = Instr{Op::kOpCount_, 0, 0, 0, 0};
     }
   }
+  apply_watch_bits();
+}
+
+void Machine::apply_watch_bits() noexcept {
+  if (watch_hi_ == 0 || slot_flags_.empty()) return;
+  for (std::uint64_t a = watch_lo_; a < watch_hi_; a += kInstrSize) {
+    if (a < code_lo_ || a + kInstrSize > code_hi_) continue;
+    slot_flags_[static_cast<std::size_t>((a - code_lo_) / kInstrSize)] |=
+        kSlotArmed;
+  }
+}
+
+void Machine::arm_watch(std::uint64_t lo, std::uint64_t hi) {
+  disarm_watch();
+  if (hi <= lo) return;
+  watch_lo_ = lo;
+  watch_hi_ = hi;
+  watch_ = WatchTrace{};
+  apply_watch_bits();
+}
+
+void Machine::disarm_watch() {
+  if (watch_hi_ != 0 && !slot_flags_.empty()) {
+    for (std::uint64_t a = watch_lo_; a < watch_hi_; a += kInstrSize) {
+      if (a < code_lo_ || a + kInstrSize > code_hi_) continue;
+      slot_flags_[static_cast<std::size_t>((a - code_lo_) / kInstrSize)] &=
+          static_cast<std::uint8_t>(~kSlotArmed);
+    }
+  }
+  watch_lo_ = watch_hi_ = 0;
+  edge_live_ = false;
+}
+
+void Machine::note_watch_hit(std::uint64_t cycles) noexcept {
+  if (watch_.hits++ == 0) watch_.first_hit_cycle = total_cycles_ + cycles;
+  edge_live_ = true;
+}
+
+void Machine::note_watch_edge(std::uint64_t from, std::uint64_t to) noexcept {
+  watch_.ring[static_cast<std::size_t>(watch_.edge_count % WatchTrace::kEdgeRing)] =
+      TraceEdge{from, to};
+  ++watch_.edge_count;
 }
 
 void Machine::set_stack_region(std::uint64_t lo, std::uint64_t hi) {
@@ -255,14 +312,18 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
     Instr in;
     if (!predecoded_.empty()) {
       // Fast path: one hull check + bitmap lookup + side-table fetch. The
-      // short-circuit keeps the slot index in-bounds before slot_valid_ is
+      // short-circuit keeps the slot index in-bounds before slot_flags_ is
       // touched; pc - code_lo_ may wrap but is then never used.
       const std::uint64_t rel = pc - code_lo_;
       const auto slot = static_cast<std::size_t>(rel / kInstrSize);
-      if (pc < code_lo_ || pc + kInstrSize > code_hi_ ||
-          rel % kInstrSize != 0 || !slot_valid_[slot]) {
+      if (pc < code_lo_ || pc + kInstrSize > code_hi_ || rel % kInstrSize != 0) {
         return stop(Trap::kBadJump);
       }
+      const std::uint8_t sflags = slot_flags_[slot];
+      if (!(sflags & kSlotValid)) return stop(Trap::kBadJump);
+      // Activation watch: one branch on a bit of the byte the validity check
+      // already loaded — never taken unless a fault window is armed AND hit.
+      if (sflags & kSlotArmed) [[unlikely]] note_watch_hit(cycles);
       if (coverage_) {
         const std::size_t idx = pc / kInstrSize;
         if (!covered_[idx]) {
@@ -274,6 +335,10 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
       if (in.op == Op::kOpCount_) return stop(Trap::kBadOpcode);
     } else {
       if (!in_code(pc) || pc % kInstrSize != 0) return stop(Trap::kBadJump);
+      // Fallback decode path: no slot table, so the watch is a range compare.
+      if (watch_hi_ != 0 && pc >= watch_lo_ && pc < watch_hi_) [[unlikely]] {
+        note_watch_hit(cycles);
+      }
       if (coverage_) {
         const std::size_t idx = pc / kInstrSize;
         if (!covered_[idx]) {
@@ -431,6 +496,12 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
       }
       case Op::kOpCount_:
         return stop(Trap::kBadOpcode);
+    }
+
+    // Error-propagation edges: only live between the first watch hit and
+    // disarm, i.e. while an injected fault is both armed and activated.
+    if (edge_live_) [[unlikely]] {
+      if (next != pc + kInstrSize) note_watch_edge(pc, next);
     }
 
     cycles += cost;

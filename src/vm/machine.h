@@ -12,6 +12,7 @@
 // SPECWeb-like client are derived from cycles consumed by OS API calls.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -49,6 +50,27 @@ class Machine;
 /// Kernel intrinsics (SYS instruction) are dispatched to this callback.
 /// Arguments are in r1.., result goes to r0. Returning a trap aborts the run.
 using SyscallHandler = std::function<Trap(Machine&, std::int32_t number)>;
+
+/// One taken control transfer (from -> to) recorded after a watch hit.
+struct TraceEdge {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  bool operator==(const TraceEdge&) const = default;
+};
+
+/// Activation trace of the currently / last armed watch window: first-hit
+/// cycle, hit count, and a bounded ring of the control-flow edges taken
+/// after the window was first entered (the start of the propagation path).
+struct WatchTrace {
+  static constexpr std::size_t kEdgeRing = 16;
+  std::uint64_t hits = 0;
+  std::uint64_t first_hit_cycle = 0;  ///< Machine::total_cycles() at first hit
+  std::uint64_t edge_count = 0;       ///< edges seen (ring keeps the last 16)
+  std::array<TraceEdge, kEdgeRing> ring{};
+
+  /// The recorded edges in chronological order (at most kEdgeRing).
+  std::vector<TraceEdge> edges() const;
+};
 
 class Machine {
  public:
@@ -131,14 +153,38 @@ class Machine {
   const std::vector<std::uint64_t>& executed_pcs() const noexcept { return executed_; }
   void clear_coverage();
 
+  // --- fault-activation watch ---------------------------------------------
+  /// Arms an address watch on [lo, hi): the first time the PC enters the
+  /// window the trace records the hit cycle, every re-entry bumps the hit
+  /// count, and subsequent taken control transfers land in a bounded edge
+  /// ring. The hot loop pays one branch on a per-slot armed bit that shares
+  /// the byte the validity check already loads, so a disarmed machine
+  /// executes the exact same memory traffic as before (ZOFI's principle:
+  /// monitoring must cost ~zero when off). Re-arming resets the trace.
+  void arm_watch(std::uint64_t lo, std::uint64_t hi);
+  /// Disarms the watch; the accumulated trace stays readable.
+  void disarm_watch();
+  bool watch_armed() const noexcept { return watch_hi_ != 0; }
+  const WatchTrace& watch_trace() const noexcept { return watch_; }
+
  private:
   struct CodeRange {
     std::uint64_t lo, hi;
   };
 
+  /// Per-slot flag bits (predecode side-table).
+  static constexpr std::uint8_t kSlotValid = 1;  ///< slot inside a loaded image
+  static constexpr std::uint8_t kSlotArmed = 2;  ///< slot inside the watch window
+
   bool in_code(std::uint64_t addr) const noexcept;
   RunResult execute(std::uint64_t pc, std::uint64_t cycle_budget);
   void rebuild_predecode();
+  /// Re-applies the armed bits of the active watch to the slot flags (after
+  /// a predecode rebuild wiped them).
+  void apply_watch_bits() noexcept;
+  /// Cold path of the armed-bit branch: updates the watch trace.
+  void note_watch_hit(std::uint64_t cycles) noexcept;
+  void note_watch_edge(std::uint64_t from, std::uint64_t to) noexcept;
   /// Cheap overlap test before the full invalidate — inlined into every
   /// checked write so guest stores into the code region (possible under
   /// mutated pointers) can never leave the predecode cache stale.
@@ -154,13 +200,14 @@ class Machine {
   std::vector<CodeRange> code_ranges_;
 
   // Predecode cache: one Instr per kInstrSize slot over the merged hull
-  // [code_lo_, code_hi_) of all loaded ranges. slot_valid_ marks slots that
-  // lie inside an actual image (holes between images stay kBadJump);
-  // undecodable bytes predecode to Op::kOpCount_ (the kBadOpcode marker).
+  // [code_lo_, code_hi_) of all loaded ranges. slot_flags_ carries kSlotValid
+  // for slots that lie inside an actual image (holes between images stay
+  // kBadJump) plus kSlotArmed for slots inside the watch window; undecodable
+  // bytes predecode to Op::kOpCount_ (the kBadOpcode marker).
   bool predecode_ = true;
   std::uint64_t code_lo_ = 0, code_hi_ = 0;
   std::vector<isa::Instr> predecoded_;
-  std::vector<std::uint8_t> slot_valid_;
+  std::vector<std::uint8_t> slot_flags_;
   mutable std::size_t last_range_ = 0;  ///< in_code() last-hit cache
   std::uint64_t stack_lo_ = 0, stack_hi_ = 0;
   SyscallHandler syscall_;
@@ -169,6 +216,14 @@ class Machine {
   bool coverage_ = false;
   std::vector<std::uint64_t> executed_;
   std::vector<bool> covered_;  // indexed by addr / kInstrSize
+
+  // Armed watch window [watch_lo_, watch_hi_); hi == 0 means disarmed.
+  std::uint64_t watch_lo_ = 0, watch_hi_ = 0;
+  /// True once the armed window was entered: taken control transfers are
+  /// recorded from that point on (checked once per instruction, but only
+  /// while a fault is actually live and activated).
+  bool edge_live_ = false;
+  WatchTrace watch_;
 };
 
 }  // namespace gf::vm

@@ -30,6 +30,10 @@ struct CampaignOptions {
   bool activation_report = false;   ///< print the per-type x function report
   std::string trace_out;            ///< JSONL activation event log path
   std::string activation_json;      ///< summary-stats JSON path
+  /// Disable warm-boot snapshots (every task pays the full cold bring-up).
+  /// Results are bit-identical either way; the flag exists for the A/B
+  /// speedup measurement in BENCH_snapshot.json.
+  bool cold_boot = false;
   bool trace() const { return activation_report || !trace_out.empty() ||
                               !activation_json.empty(); }
 };
@@ -63,12 +67,15 @@ inline CampaignOptions parse_options(int argc, char** argv) {
       opt.trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--activation-json") == 0 && i + 1 < argc) {
       opt.activation_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--cold-boot") == 0) {
+      opt.cold_boot = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick|--full] [--scale S] [--stride K] "
                    "[--iterations N] [--jobs J] [--shards S] [--seed X] "
                    "[--baseline-ms MS] [--activation-report] "
-                   "[--trace-out FILE.jsonl] [--activation-json FILE.json]\n",
+                   "[--trace-out FILE.jsonl] [--activation-json FILE.json] "
+                   "[--cold-boot]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -86,6 +93,7 @@ inline depbench::RunnerOptions to_runner_options(const CampaignOptions& opt) {
   ropt.seed = opt.seed;
   ropt.baseline_window_ms = opt.baseline_ms;
   ropt.trace = opt.trace();
+  ropt.warm_boot = !opt.cold_boot;
   return ropt;
 }
 
@@ -101,10 +109,11 @@ inline std::vector<depbench::ExperimentCell> run_all_cells(
   }
   std::fprintf(stderr,
                "[campaign] 2 servers x 2 OS versions, stride %d, %d "
-               "iterations, %d shard(s), jobs=%s%s\n",
+               "iterations, %d shard(s), jobs=%s%s%s\n",
                opt.stride, opt.iterations, opt.shards,
                opt.jobs > 0 ? std::to_string(opt.jobs).c_str() : "auto",
-               opt.trace() ? ", tracing on" : "");
+               opt.trace() ? ", tracing on" : "",
+               opt.cold_boot ? ", cold boot" : ", warm boot");
   depbench::CampaignRunner runner(to_runner_options(opt));
   return runner.run_campaign();
 }

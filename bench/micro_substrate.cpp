@@ -5,9 +5,12 @@
 // cheap patch operation.
 #include <benchmark/benchmark.h>
 
+#include "depbench/controller.h"
 #include "minic/compiler.h"
 #include "os/api.h"
 #include "os/kernel.h"
+#include "os/layout.h"
+#include "snapshot/warmboot.h"
 #include "swfit/injector.h"
 #include "swfit/scanner.h"
 #include "vm/machine.h"
@@ -158,6 +161,62 @@ void BM_ApiCallOpenReadClose(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ApiCallOpenReadClose);
+
+/// Dirty a handful of kernel-data pages the way a slot's guest work would,
+/// so both reboot benches measure resetting a *used* kernel, not a pristine
+/// one (the dirtying itself is a few checked stores — negligible next to
+/// either reboot path).
+void dirty_kernel(vm::Machine& m) {
+  for (std::uint64_t off = 64; off < 4 * vm::Machine::kDirtyPageSize;
+       off += vm::Machine::kDirtyPageSize) {
+    benchmark::DoNotOptimize(m.write_u64(os::layout::kHeapCtl + off, 1));
+  }
+}
+
+/// Reference: a full cold reboot per iteration (memset the kernel data
+/// region, re-execute heap_init/vm_init on the VM).
+void BM_ColdReboot(benchmark::State& state) {
+  os::Kernel kernel(os::OsVersion::kVos2000);
+  kernel.set_warm_reboot(false);
+  for (auto _ : state) {
+    dirty_kernel(kernel.machine());
+    kernel.reboot();
+  }
+}
+BENCHMARK(BM_ColdReboot);
+
+/// The warm path: replay the recorded boot write-log over only the pages
+/// dirtied since the last reboot. The snapshot subsystem's acceptance bar
+/// is >= 10x BM_ColdReboot (see BENCH_snapshot.json).
+void BM_SnapshotRestore(benchmark::State& state) {
+  os::Kernel kernel(os::OsVersion::kVos2000);  // first boot records the log
+  for (auto _ : state) {
+    dirty_kernel(kernel.machine());
+    kernel.reboot();
+  }
+}
+BENCHMARK(BM_SnapshotRestore);
+
+/// Full cold SUB bring-up: MiniC compile + boot + file set + server start —
+/// what every campaign task used to pay before warm-boot snapshots.
+void BM_ControllerBuildCold(benchmark::State& state) {
+  for (auto _ : state) {
+    depbench::Controller ctl(os::OsVersion::kVos2000, "apex");
+    benchmark::DoNotOptimize(ctl.kernel().ticks());
+  }
+}
+BENCHMARK(BM_ControllerBuildCold);
+
+/// Warm SUB bring-up: reconstruct the controller from the shared per-cell
+/// snapshot (restore machine state + COW disk + server process image).
+void BM_ControllerBuildWarm(benchmark::State& state) {
+  const auto snap = snapshot::capture_warm_boot(os::OsVersion::kVos2000, "apex");
+  for (auto _ : state) {
+    depbench::Controller ctl(snap);
+    benchmark::DoNotOptimize(ctl.kernel().ticks());
+  }
+}
+BENCHMARK(BM_ControllerBuildWarm);
 
 void BM_FaultloadSerialize(benchmark::State& state) {
   os::Kernel kernel(os::OsVersion::kVosXp);

@@ -2,7 +2,10 @@
 # Runs the micro-benchmark substrate with JSON output so each PR can record
 # a perf-trajectory point (BENCH_micro.json) comparable across revisions,
 # then runs a short traced campaign to record the measured fault-activation
-# summary (BENCH_activation.json).
+# summary (BENCH_activation.json), and finally measures the warm-boot
+# snapshot speedup (BENCH_snapshot.json): the micro-level cold-reboot vs
+# snapshot-restore ratio plus an end-to-end quick campaign A/B with
+# --cold-boot (results are bit-identical; only wall time differs).
 #
 # Usage: bench/run_benches.sh [build-dir] [out.json] [extra benchmark args...]
 set -euo pipefail
@@ -10,6 +13,7 @@ set -euo pipefail
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_micro.json}
 ACT_OUT=${ACT_OUT:-BENCH_activation.json}
+SNAP_OUT=${SNAP_OUT:-BENCH_snapshot.json}
 [ $# -ge 1 ] && shift
 [ $# -ge 1 ] && shift
 
@@ -29,3 +33,43 @@ done
 "$BUILD_DIR/bench/table5_campaign" --quick --scale 0.05 --baseline-ms 2000 \
   --activation-json "$ACT_OUT" > /dev/null
 echo "activation summary written to $ACT_OUT" >&2
+
+# Warm-boot snapshot speedup. Micro ratio: BM_ColdReboot vs
+# BM_SnapshotRestore real_time pulled from the benchmark JSON (the subsystem's
+# acceptance bar is ratio >= 10). End-to-end: a bring-up-heavy campaign
+# (many short shard tasks — the fan-out regime snapshots exist for) timed
+# with snapshots on (default) and off (--cold-boot); results are
+# bit-identical, only wall time differs.
+ratio_json=$(awk '
+  /"name":/ { name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name) }
+  /"real_time":/ {
+    t = $0; sub(/.*"real_time": /, "", t); sub(/,.*/, "", t)
+    if (name == "BM_ColdReboot" && !(name in seen)) { cold = t; seen[name] = 1 }
+    if (name == "BM_SnapshotRestore" && !(name in seen)) { warm = t; seen[name] = 1 }
+  }
+  END {
+    if (cold == "" || warm == "" || warm + 0 == 0) exit 1
+    printf "  \"cold_reboot_ns\": %s,\n  \"snapshot_restore_ns\": %s,\n  \"micro_speedup\": %.2f", \
+           cold, warm, cold / warm
+  }' "$OUT")
+
+AB_ARGS=(--stride 48 --iterations 3 --shards 4 --scale 0.02
+         --baseline-ms 500 --jobs 4)
+now_ms() { date +%s%3N; }
+t0=$(now_ms)
+"$BUILD_DIR/bench/table5_campaign" "${AB_ARGS[@]}" > /dev/null 2>&1
+warm_ms=$(( $(now_ms) - t0 ))
+t0=$(now_ms)
+"$BUILD_DIR/bench/table5_campaign" "${AB_ARGS[@]}" --cold-boot > /dev/null 2>&1
+cold_ms=$(( $(now_ms) - t0 ))
+
+{
+  echo "{"
+  echo "$ratio_json,"
+  echo "  \"campaign_warm_ms\": $warm_ms,"
+  echo "  \"campaign_cold_ms\": $cold_ms,"
+  awk -v c="$cold_ms" -v w="$warm_ms" \
+    'BEGIN { printf("  \"campaign_speedup\": %.2f\n", (w > 0) ? c / w : 0) }'
+  echo "}"
+} > "$SNAP_OUT"
+echo "snapshot speedup written to $SNAP_OUT" >&2

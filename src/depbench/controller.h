@@ -22,6 +22,7 @@
 
 #include "os/api.h"
 #include "os/kernel.h"
+#include "snapshot/warmboot.h"
 #include "spec/client.h"
 #include "swfit/injector.h"
 #include "trace/activation.h"
@@ -82,6 +83,14 @@ class Controller {
   Controller(os::OsVersion version, const std::string& server_name,
              ControllerConfig cfg = {});
 
+  /// Reconstructs a warmed SUB from a shared warm-boot snapshot: the kernel
+  /// resumes post-boot/post-server-start (no MiniC compile, no boot, no
+  /// file-set regeneration), and the first run_* call skips its bring-up —
+  /// the snapshot was captured exactly there, so results are bit-identical
+  /// to a cold-built controller's.
+  Controller(std::shared_ptr<const snapshot::WarmSnapshot> snap,
+             ControllerConfig cfg = {});
+
   /// Baseline performance (no injector at all).
   spec::WindowMetrics run_baseline(double duration_ms, std::uint64_t seed);
 
@@ -100,11 +109,16 @@ class Controller {
  private:
   struct MonitorState;
 
+  /// Run-entry bring-up (OS reboot + server start), skipped once on a
+  /// warm-constructed controller whose snapshot already contains it.
+  void bring_up();
+
   ControllerConfig cfg_;
   std::unique_ptr<os::Kernel> kernel_;
   std::unique_ptr<os::OsApi> api_;
   std::unique_ptr<spec::Fileset> fileset_;
   std::unique_ptr<web::WebServer> server_;
+  bool warm_started_ = false;
 };
 
 }  // namespace gf::depbench

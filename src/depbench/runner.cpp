@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "snapshot/warmboot.h"
 #include "swfit/scanner.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -150,6 +152,19 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
   const std::size_t n_cells = opt_.versions.size() * opt_.servers.size();
   const std::size_t tasks_per_cell = 1 + iters * shards;
 
+  // Warm-boot snapshots: one bring-up per cell (parallelized), shared
+  // read-only by every task of that cell. Each task then clones a private
+  // SUB from the snapshot in O(memory copy) instead of recompiling the OS
+  // image and re-running boot + file-set population + server start.
+  std::vector<std::shared_ptr<const snapshot::WarmSnapshot>> warm(n_cells);
+  if (opt_.warm_boot) {
+    run_tasks(n_cells, [&](std::size_t cell) {
+      warm[cell] = snapshot::capture_warm_boot(
+          opt_.versions[cell / opt_.servers.size()],
+          opt_.servers[cell % opt_.servers.size()]);
+    });
+  }
+
   std::vector<ExperimentCell> cells(n_cells);
   // One slot per (cell, iteration, shard): tasks write only their own slot,
   // which is what makes the merge independent of scheduling order.
@@ -170,16 +185,20 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     auto cfg = cell_config(server, opt_);
     const auto seed = derive_seed(opt_.seed, cell, task);
 
+    auto build = [&](const ControllerConfig& c) {
+      return opt_.warm_boot ? std::make_unique<Controller>(warm[cell], c)
+                            : std::make_unique<Controller>(version, server, c);
+    };
     if (task == 0) {
-      Controller ctl(version, server, cfg);
+      auto ctl = build(cfg);
       cells[cell].baseline =
-          ctl.run_profile_mode(fl, opt_.baseline_window_ms, seed);
+          ctl->run_profile_mode(fl, opt_.baseline_window_ms, seed);
     } else {
       const std::size_t shard = (task - 1) % shards;
       cfg.fault_stride = opt_.stride * static_cast<int>(shards);
       cfg.fault_offset = opt_.stride * static_cast<int>(shard);
-      Controller ctl(version, server, cfg);
-      shard_results[cell][task - 1] = ctl.run_iteration(fl, seed);
+      auto ctl = build(cfg);
+      shard_results[cell][task - 1] = ctl->run_iteration(fl, seed);
     }
     if (remaining[cell].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       GF_INFO() << "campaign cell done: " << server << " on "

@@ -44,6 +44,13 @@ struct RunnerOptions {
   /// `jobs`, and the fault-index sort makes shard merges order-independent.
   bool trace = false;
   bool trace_probe_per_call = false;
+  /// Warm-boot snapshots: build each (OS version, server) cell's SUB once,
+  /// capture the post-boot/post-server-start state, and let every shard
+  /// task reconstruct its private controller from the shared snapshot
+  /// instead of re-compiling/booting from scratch. Bit-identical results
+  /// for any `jobs` value (the capture mirrors the cold bring-up exactly);
+  /// off = the original cold path, kept for A/B and equivalence tests.
+  bool warm_boot = true;
 };
 
 /// Per-task seed: a pure function of (campaign seed, cell, task) so a task's

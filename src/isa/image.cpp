@@ -1,5 +1,7 @@
 #include "isa/image.h"
 
+#include <cstring>
+
 namespace gf::isa {
 
 std::uint64_t Image::append(const Instr& in) {
@@ -22,6 +24,23 @@ bool Image::patch(std::uint64_t addr, const Instr& in) noexcept {
   const std::uint64_t off = addr - base_;
   if (off % kInstrSize != 0) return false;
   encode(in, code_.data() + off);
+  return true;
+}
+
+const std::uint8_t* Image::window(std::uint64_t addr, std::size_t len) const noexcept {
+  if (len == 0 || addr < base_ || addr + len > end()) return nullptr;
+  const std::uint64_t off = addr - base_;
+  if (off % kInstrSize != 0) return nullptr;
+  return code_.data() + off;
+}
+
+bool Image::patch_bytes(std::uint64_t addr, const std::uint8_t* data,
+                        std::size_t len) noexcept {
+  if (len == 0) return true;
+  if (addr < base_ || addr + len > end()) return false;
+  const std::uint64_t off = addr - base_;
+  if (off % kInstrSize != 0 || len % kInstrSize != 0) return false;
+  std::memcpy(code_.data() + off, data, len);
   return true;
 }
 

@@ -48,6 +48,16 @@ class Image {
   /// Returns false when out of range/unaligned.
   bool patch(std::uint64_t addr, const Instr& in) noexcept;
 
+  /// Read-only pointer to `len` raw code bytes at absolute address `addr`,
+  /// or nullptr when the span is out of range / unaligned. One ranged access
+  /// replaces a per-instruction at() walk on the inject/verify path.
+  const std::uint8_t* window(std::uint64_t addr, std::size_t len) const noexcept;
+
+  /// Overwrites `len` code bytes at absolute address `addr` in one copy
+  /// (instruction-aligned whole windows only). False when out of range.
+  bool patch_bytes(std::uint64_t addr, const std::uint8_t* data,
+                   std::size_t len) noexcept;
+
   void add_symbol(Symbol sym);
   const std::vector<Symbol>& symbols() const noexcept { return symbols_; }
   const Symbol* find_symbol(const std::string& name) const noexcept;

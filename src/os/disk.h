@@ -3,10 +3,17 @@
 // All *policy* (handle validation, positions, buffer copies) lives in the
 // MiniC OS code where it can be fault-injected; SimDisk is the raw device
 // the kernel intrinsics expose. It deliberately has no notion of handles.
+//
+// File content is copy-on-write: copying a SimDisk (one copy per campaign
+// task, cloned from the shared warm-boot snapshot) shares the content
+// buffers, and a writer detaches only the file it mutates. Workload filesets
+// are hundreds of KiB that iterations mostly read, so task startup stays
+// O(files) instead of O(bytes).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,7 +48,11 @@ class SimDisk {
   const std::vector<std::uint8_t>* content(const std::string& path) const;
 
  private:
-  std::vector<std::vector<std::uint8_t>> files_;
+  /// Returns a uniquely-owned buffer for `id`, cloning first when the
+  /// content is still shared with other disks (the copy-on-write fault).
+  std::vector<std::uint8_t>& detach(std::size_t id);
+
+  std::vector<std::shared_ptr<std::vector<std::uint8_t>>> files_;
   std::map<std::string, int> index_;
   std::vector<std::string> names_;
 };

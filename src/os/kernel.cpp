@@ -1,5 +1,7 @@
 #include "os/kernel.h"
 
+#include <cstring>
+#include <map>
 #include <stdexcept>
 #include <vector>
 
@@ -9,6 +11,31 @@ namespace gf::os {
 
 namespace lay = layout;
 
+namespace {
+
+// Collapses a raw write log into byte-level last-write-wins spans: each byte
+// a boot wrote appears once with its final value, and adjacent bytes merge
+// into one run. Correct for any overlap pattern, and it turns the boot's
+// ~hundred store-sized records (page-table loop, stack slots) into a handful
+// of contiguous memcpys for the replay path.
+std::vector<vm::WriteSpan> coalesce_spans(const std::vector<vm::WriteSpan>& raw) {
+  std::map<std::uint64_t, std::uint8_t> bytes;
+  for (const auto& w : raw) {
+    for (std::size_t i = 0; i < w.bytes.size(); ++i) bytes[w.addr + i] = w.bytes[i];
+  }
+  std::vector<vm::WriteSpan> out;
+  for (const auto& [addr, b] : bytes) {
+    if (!out.empty() && out.back().addr + out.back().bytes.size() == addr) {
+      out.back().bytes.push_back(b);
+    } else {
+      out.push_back({addr, {b}});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Kernel::Kernel(OsVersion version)
     : version_(version),
       pristine_(minic::compile(
@@ -17,10 +44,47 @@ Kernel::Kernel(OsVersion version)
       active_(pristine_),
       machine_(std::make_unique<vm::Machine>(lay::kMemSize)) {
   machine_->load_image(active_);
+  install_machine_hooks();
+  reboot();
+}
+
+Kernel::Kernel(const KernelSnapshot& snap)
+    : version_(snap.version),
+      disk_(snap.disk),
+      pristine_(snap.pristine),
+      active_(snap.active),
+      machine_(std::make_unique<vm::Machine>(lay::kMemSize)),
+      boot_(snap.boot),
+      tick_(snap.ticks) {
+  machine_->load_image(active_);  // registers the executable range
+  install_machine_hooks();
+  machine_->restore_full(snap.machine);
+  // The snapshot was typically taken *after* further guest work (server
+  // start), so the kernel data region no longer matches the post-boot
+  // baseline the replay's dirty accounting assumes: mark it all dirty so
+  // the first warm reboot re-zeroes every page of it.
+  machine_->mark_dirty(lay::kHeapCtl, lay::kScratch - lay::kHeapCtl);
+}
+
+void Kernel::install_machine_hooks() {
   machine_->set_stack_region(lay::kStackLo, lay::kStackHi);
   machine_->set_syscall_handler(
       [this](vm::Machine& m, std::int32_t num) { return handle_syscall(m, num); });
-  reboot();
+}
+
+KernelSnapshot Kernel::snapshot() {
+  KernelSnapshot s;
+  s.version = version_;
+  s.pristine = pristine_;
+  s.active = active_;
+  s.machine = machine_->snapshot();
+  // snapshot() reset the dirty baseline; keep this (still usable) kernel's
+  // replay accounting sound by conservatively re-marking the data region.
+  machine_->mark_dirty(lay::kHeapCtl, lay::kScratch - lay::kHeapCtl);
+  s.boot = boot_;
+  s.disk = disk_;
+  s.ticks = tick_;
+  return s;
 }
 
 void Kernel::sync_code() { machine_->reload_code(active_); }
@@ -43,6 +107,14 @@ std::uint64_t Kernel::api_addr(const std::string& name) const {
 }
 
 void Kernel::reboot() {
+  if (warm_reboot_ && boot_ != nullptr && boot_code_intact()) {
+    replay_boot();
+    return;
+  }
+  cold_boot();
+}
+
+void Kernel::cold_boot() {
   // Zero the kernel data region (heap control, handle table, page table).
   const std::vector<std::uint8_t> zeros(
       static_cast<std::size_t>(lay::kScratch - lay::kHeapCtl), 0);
@@ -54,6 +126,13 @@ void Kernel::reboot() {
   if (heap_init == nullptr || vm_init == nullptr) {
     throw std::runtime_error("OS image is missing boot symbols");
   }
+  // The very first boot additionally records its memory effect: the boot
+  // path is pure deterministic stores over the region just zeroed, so the
+  // write log (plus cycle/flag deltas) is a complete replacement for
+  // re-executing it on every later reboot.
+  const bool record = boot_ == nullptr;
+  const std::uint64_t cycles0 = machine_->total_cycles();
+  if (record) machine_->begin_write_capture();
   // Boot runs against pristine code even when faults are injected: a real
   // reboot reloads the (possibly still faulty) module, but the *boot path*
   // (heap_init/vm_init) is not part of the API fault-injection surface, so
@@ -62,8 +141,54 @@ void Kernel::reboot() {
   const auto r1 = machine_->call(heap_init->addr, {}, 1u << 20);
   const auto r2 = machine_->call(vm_init->addr, {}, 1u << 20);
   if (!r1.ok() || !r2.ok()) {
+    if (record) machine_->end_write_capture();
     throw std::runtime_error("VOS boot failed");
   }
+  if (record) {
+    auto replay = std::make_shared<BootReplay>();
+    replay->writes = coalesce_spans(machine_->end_write_capture());
+    replay->cycles = machine_->total_cycles() - cycles0;
+    replay->flags = machine_->cmp_flags();
+    replay->code = {{heap_init->addr, heap_init->size},
+                    {vm_init->addr, vm_init->size}};
+    boot_ = std::move(replay);
+  }
+}
+
+bool Kernel::boot_code_intact() const noexcept {
+  // An injected (or wildly-stored) mutation of the boot code itself must
+  // keep producing cold-boot semantics, including "VOS boot failed"; replay
+  // is only valid while the boot bytes in VM memory match the pristine
+  // image.
+  for (const auto& r : boot_->code) {
+    const auto* live = machine_->raw(r.addr, static_cast<std::size_t>(r.size));
+    if (live == nullptr) return false;
+    const auto off = static_cast<std::size_t>(r.addr - pristine_.base());
+    if (std::memcmp(live, pristine_.code().data() + off,
+                    static_cast<std::size_t>(r.size)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Kernel::replay_boot() {
+  // Zero only region pages dirtied since the last reboot (the cold path
+  // memsets all 192 KiB every time), then clear their dirty bits so the
+  // *next* replay only touches what the coming slot actually writes.
+  static constexpr std::uint64_t kPage = vm::Machine::kDirtyPageSize;
+  static const std::vector<std::uint8_t> zeros(kPage, 0);
+  for (std::uint64_t addr = lay::kHeapCtl; addr < lay::kScratch; addr += kPage) {
+    if (machine_->page_dirty(addr)) {
+      machine_->write_bytes(addr, zeros.data(), zeros.size());
+    }
+  }
+  machine_->clear_dirty(lay::kHeapCtl, lay::kScratch - lay::kHeapCtl);
+  for (const auto& w : boot_->writes) {
+    machine_->write_bytes(w.addr, w.bytes.data(), w.bytes.size());
+  }
+  machine_->add_cycles(boot_->cycles);
+  machine_->set_cmp_flags(boot_->flags);
 }
 
 vm::Trap Kernel::handle_syscall(vm::Machine& m, std::int32_t num) {

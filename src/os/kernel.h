@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "isa/image.h"
 #include "os/disk.h"
@@ -22,9 +23,49 @@
 
 namespace gf::os {
 
+/// Memory effect of the guest boot path (heap_init/vm_init), recorded during
+/// the first cold boot. The boot code is pure deterministic stores — no
+/// syscalls, no reads outside the region reboot() just zeroed — so replaying
+/// the byte-level last-write-wins spans plus the cycle/flag deltas is
+/// *exactly* equivalent to re-executing it, at O(dirty pages + spans) cost.
+struct BootReplay {
+  struct CodeRange {
+    std::uint64_t addr = 0, size = 0;
+  };
+  std::vector<vm::WriteSpan> writes;  ///< coalesced, byte-exact final values
+  std::uint64_t cycles = 0;           ///< machine cycles the boot consumed
+  int flags = 0;                      ///< cmp flags left by the boot code
+  /// Code spans of the boot symbols: a warm reboot first verifies these
+  /// bytes still match the pristine image and falls back to a real cold
+  /// boot otherwise (a wild store into heap_init must keep failing loudly).
+  std::vector<CodeRange> code;
+};
+
+/// Deep-copyable kernel state captured after boot (and, at the depbench
+/// layer, after server start): everything needed to reconstruct a Kernel
+/// without re-compiling MiniC sources or re-running the boot. Plain data —
+/// safe to share read-only across campaign shard threads; per-task copies
+/// are cheap because SimDisk content is copy-on-write.
+struct KernelSnapshot {
+  OsVersion version{};
+  isa::Image pristine;
+  isa::Image active;
+  vm::Machine::State machine;
+  std::shared_ptr<const BootReplay> boot;
+  SimDisk disk;
+  std::uint64_t ticks = 0;
+};
+
 class Kernel {
  public:
   explicit Kernel(OsVersion version);
+
+  /// Warm construction: rebuilds a kernel from a snapshot in O(memory copy)
+  /// — no MiniC compile, no boot execution. The machine resumes at the
+  /// snapshot's exact cycle/tick counters, so runs against a warm kernel are
+  /// bit-identical to runs against the cold-built kernel it was captured
+  /// from.
+  explicit Kernel(const KernelSnapshot& snap);
 
   OsVersion version() const noexcept { return version_; }
   vm::Machine& machine() noexcept { return *machine_; }
@@ -52,20 +93,42 @@ class Kernel {
 
   /// Re-initializes guest OS state (heap free list, handle table, page
   /// table) without touching the disk — the equivalent of an OS reboot
-  /// between benchmark slots.
+  /// between benchmark slots. After the first boot has been recorded this
+  /// redirects to an O(dirty) replay (bit-identical by construction); a real
+  /// cold boot still runs when the boot code bytes were corrupted or warm
+  /// reboot is disabled.
   void reboot();
+
+  /// Kill-switch for the boot replay (A/B benchmarking and the cold
+  /// reference runs of the equivalence tests).
+  void set_warm_reboot(bool on) noexcept { warm_reboot_ = on; }
+  bool warm_reboot() const noexcept { return warm_reboot_; }
+
+  /// Captures a deep-copyable snapshot of the current kernel state (resets
+  /// the machine's dirty baseline as a side effect).
+  KernelSnapshot snapshot();
 
   /// Monotonic tick counter (SYS_TICK).
   std::uint64_t ticks() const noexcept { return tick_; }
 
  private:
   vm::Trap handle_syscall(vm::Machine& m, std::int32_t num);
+  void install_machine_hooks();
+  /// Full boot: zero the kernel data region, run heap_init/vm_init. Records
+  /// the BootReplay on the first successful run.
+  void cold_boot();
+  /// O(dirty) boot: zero only dirtied region pages, apply recorded spans,
+  /// advance cycles/flags to the recorded post-boot values.
+  void replay_boot();
+  bool boot_code_intact() const noexcept;
 
   OsVersion version_;
   SimDisk disk_;
   isa::Image pristine_;
   isa::Image active_;
   std::unique_ptr<vm::Machine> machine_;
+  std::shared_ptr<const BootReplay> boot_;  ///< set by the first cold boot
+  bool warm_reboot_ = true;
   std::uint64_t tick_ = 0;
 };
 

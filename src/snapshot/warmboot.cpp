@@ -1,0 +1,35 @@
+#include "snapshot/warmboot.h"
+
+#include <stdexcept>
+
+#include "os/api.h"
+
+namespace gf::snapshot {
+
+std::shared_ptr<const WarmSnapshot> capture_warm_boot(
+    os::OsVersion version, const std::string& server_name,
+    const spec::FilesetConfig& fileset) {
+  // This must mirror a cold Controller's path to its first run exactly:
+  // constructor (kernel boot, file-set population, server construction)
+  // followed by the run-entry reboot + start. Any extra guest activity here
+  // would shift the restored cycle/tick counters away from a cold run's and
+  // break the bit-identity guarantee (guarded by tests/test_snapshot.cpp).
+  os::Kernel kernel(version);
+  os::OsApi api(kernel);
+  spec::Fileset files(kernel.disk(), fileset);
+  auto server = web::make_server(server_name, api);
+
+  kernel.reboot();
+  if (!server->start()) {
+    throw std::runtime_error("server failed to start on a healthy OS");
+  }
+
+  auto snap = std::make_shared<WarmSnapshot>();
+  snap->kernel = kernel.snapshot();
+  snap->server = server->save_process();
+  snap->server_name = server_name;
+  snap->fileset = fileset;
+  return snap;
+}
+
+}  // namespace gf::snapshot

@@ -20,7 +20,7 @@ const std::vector<double>& Fileset::class_weights() {
   return kWeights;
 }
 
-Fileset::Fileset(os::SimDisk& disk, const FilesetConfig& cfg) {
+Fileset::Fileset(os::SimDisk& disk, const FilesetConfig& cfg, bool populate) {
   by_class_.resize(4);
   for (int d = 0; d < cfg.num_dirs; ++d) {
     for (int c = 0; c < 4; ++c) {
@@ -28,17 +28,20 @@ Fileset::Fileset(os::SimDisk& disk, const FilesetConfig& cfg) {
         char path[64];
         std::snprintf(path, sizeof path, "/file_set/dir%05d/class%d_%d", d, c, j);
         const auto size = file_size(c, j);
-        const auto seed = web::path_seed(path);
-        std::vector<std::uint8_t> content(size);
-        for (std::size_t i = 0; i < size; ++i) {
-          content[i] = web::expected_content_byte(seed, i);
+        if (populate) {
+          const auto seed = web::path_seed(path);
+          std::vector<std::uint8_t> content(size);
+          for (std::size_t i = 0; i < size; ++i) {
+            content[i] = web::expected_content_byte(seed, i);
+          }
+          disk.add_file(path, std::move(content));
         }
-        disk.add_file(path, std::move(content));
         by_class_[static_cast<std::size_t>(c)].push_back(files_.size());
         files_.push_back({path, size, c});
       }
     }
   }
+  if (!populate) return;  // content already on the snapshot's disk
   // Server support files.
   disk.add_file("/conf/httpd.conf", std::vector<std::uint8_t>(512, 0x23));
   disk.create("/logs/apex.post");

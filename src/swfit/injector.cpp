@@ -1,11 +1,34 @@
 #include "swfit/injector.h"
 
+#include <cstring>
+
 namespace gf::swfit {
 
 namespace {
 
+// Fault windows are a handful of instructions (MLPA/MFC spans stay well
+// under this); larger windows take the per-instruction fallback.
+constexpr std::size_t kMaxWindowInstrs = 64;
+
+/// Encodes `instrs` into `buf` (byte-exact image encoding); false when the
+/// window exceeds the stack buffer.
+bool encode_window(const std::vector<isa::Instr>& instrs, std::uint8_t* buf) {
+  if (instrs.size() > kMaxWindowInstrs) return false;
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    isa::encode(instrs[i], buf + i * isa::kInstrSize);
+  }
+  return true;
+}
+
 bool window_matches(const isa::Image& img, std::uint64_t addr,
                     const std::vector<isa::Instr>& expect) {
+  // One ranged access + memcmp against the re-encoded expectation instead of
+  // a per-instruction at() decode loop: this runs twice per fault swap.
+  const std::size_t len = expect.size() * isa::kInstrSize;
+  const auto* have = img.window(addr, len);
+  if (have == nullptr) return false;
+  std::uint8_t buf[kMaxWindowInstrs * isa::kInstrSize];
+  if (encode_window(expect, buf)) return std::memcmp(have, buf, len) == 0;
   for (std::size_t i = 0; i < expect.size(); ++i) {
     const auto in = img.at(addr + i * isa::kInstrSize);
     if (!in || !(*in == expect[i])) return false;
@@ -15,6 +38,10 @@ bool window_matches(const isa::Image& img, std::uint64_t addr,
 
 bool patch_window(isa::Image& img, std::uint64_t addr,
                   const std::vector<isa::Instr>& content) {
+  std::uint8_t buf[kMaxWindowInstrs * isa::kInstrSize];
+  if (encode_window(content, buf)) {
+    return img.patch_bytes(addr, buf, content.size() * isa::kInstrSize);
+  }
   for (std::size_t i = 0; i < content.size(); ++i) {
     if (!img.patch(addr + i * isa::kInstrSize, content[i])) return false;
   }

@@ -1,6 +1,9 @@
 #include "swfit/scanner.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 namespace gf::swfit {
 
@@ -14,10 +17,58 @@ void scan_function(const isa::Image& img, const isa::Symbol& sym,
   }
 }
 
+/// Memo key: image content digest + every ScanOptions field + a digest of
+/// the requested function list (order-sensitive; the scan output is sorted
+/// anyway, but distinct lists must not collide).
+using ScanKey =
+    std::tuple<std::uint64_t, int, int, int, int, int, bool, std::uint64_t>;
+
+std::uint64_t fnv1a(const std::vector<std::string>& names) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& n : names) {
+    for (const char c : n) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001B3ULL;
+    }
+    h ^= 0xFF;  // separator: {"ab","c"} != {"a","bc"}
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::mutex g_scan_mu;
+std::map<ScanKey, Faultload> g_scan_cache;
+ScanCacheStats g_scan_stats;
+
 }  // namespace
+
+ScanCacheStats scan_cache_stats() noexcept {
+  const std::lock_guard<std::mutex> lock(g_scan_mu);
+  return g_scan_stats;
+}
+
+void clear_scan_cache() noexcept {
+  const std::lock_guard<std::mutex> lock(g_scan_mu);
+  g_scan_cache.clear();
+  g_scan_stats = {};
+}
 
 Faultload Scanner::scan(const isa::Image& img,
                         const std::vector<std::string>& functions) const {
+  const ScanKey key{img.code_digest(), opts_.max_if_body,
+                    opts_.min_block,   opts_.max_block,
+                    opts_.call_window, opts_.mlac_gap,
+                    opts_.include_sys, fnv1a(functions)};
+  {
+    const std::lock_guard<std::mutex> lock(g_scan_mu);
+    const auto it = g_scan_cache.find(key);
+    if (it != g_scan_cache.end()) {
+      ++g_scan_stats.hits;
+      return it->second;
+    }
+    ++g_scan_stats.misses;
+  }
+
   Faultload fl;
   fl.target = img.name();
   fl.digest = img.code_digest();
@@ -33,7 +84,9 @@ Faultload Scanner::scan(const isa::Image& img,
               if (a.addr != b.addr) return a.addr < b.addr;
               return a.type < b.type;
             });
-  return fl;
+
+  const std::lock_guard<std::mutex> lock(g_scan_mu);
+  return g_scan_cache.emplace(key, std::move(fl)).first->second;
 }
 
 Faultload Scanner::scan_all(const isa::Image& img) const {

@@ -37,10 +37,90 @@ std::vector<TraceEdge> WatchTrace::edges() const {
   return out;
 }
 
-Machine::Machine(std::size_t mem_size) : mem_(mem_size, 0) {
+Machine::Machine(std::size_t mem_size)
+    : mem_(mem_size, 0),
+      dirty_((mem_size + kDirtyPageSize - 1) >> kDirtyPageShift, 0) {
   // Default stack: top 64 KiB of memory.
   stack_hi_ = mem_.size();
   stack_lo_ = mem_.size() > (64u << 10) ? mem_.size() - (64u << 10) : 0;
+}
+
+const std::uint8_t* Machine::raw(std::uint64_t addr, std::size_t n) const noexcept {
+  if (addr >= mem_.size() || mem_.size() - addr < n) return nullptr;
+  return mem_.data() + addr;
+}
+
+void Machine::mark_dirty(std::uint64_t addr, std::uint64_t len) noexcept {
+  if (len == 0 || addr >= mem_.size()) return;
+  if (mem_.size() - addr < len) len = mem_.size() - addr;
+  note_write(addr, len);
+}
+
+void Machine::clear_dirty(std::uint64_t addr, std::uint64_t len) noexcept {
+  if (len == 0 || addr >= mem_.size()) return;
+  if (mem_.size() - addr < len) len = mem_.size() - addr;
+  for (std::uint64_t p = addr >> kDirtyPageShift,
+                     last = (addr + len - 1) >> kDirtyPageShift;
+       p <= last; ++p) {
+    dirty_[p] = 0;
+  }
+}
+
+void Machine::clear_all_dirty() noexcept {
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+}
+
+Machine::State Machine::snapshot() {
+  State s;
+  s.mem = mem_;
+  std::memcpy(s.regs.data(), regs_, sizeof regs_);
+  s.flags = flags_;
+  s.total_cycles = total_cycles_;
+  clear_all_dirty();
+  return s;
+}
+
+void Machine::restore(const State& s) {
+  if (s.mem.size() != mem_.size()) {
+    throw std::runtime_error("machine snapshot size mismatch");
+  }
+  // Copy back only pages dirtied since snapshot(); pages overlapping the
+  // code hull additionally re-decode so the predecode cache never serves
+  // instructions for bytes that just changed under it.
+  for (std::size_t p = 0; p < dirty_.size(); ++p) {
+    if (!dirty_[p]) continue;
+    const std::uint64_t addr = static_cast<std::uint64_t>(p) << kDirtyPageShift;
+    const std::size_t len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kDirtyPageSize, mem_.size() - addr));
+    std::memcpy(mem_.data() + addr, s.mem.data() + addr, len);
+    maybe_invalidate(addr, len);
+  }
+  std::memcpy(regs_, s.regs.data(), sizeof regs_);
+  flags_ = s.flags;
+  total_cycles_ = s.total_cycles;
+  clear_all_dirty();
+}
+
+void Machine::restore_full(const State& s) {
+  if (s.mem.size() != mem_.size()) {
+    throw std::runtime_error("machine snapshot size mismatch");
+  }
+  mem_ = s.mem;
+  std::memcpy(regs_, s.regs.data(), sizeof regs_);
+  flags_ = s.flags;
+  total_cycles_ = s.total_cycles;
+  rebuild_predecode();
+  clear_all_dirty();
+}
+
+void Machine::begin_write_capture() {
+  capture_ = true;
+  captured_.clear();
+}
+
+std::vector<WriteSpan> Machine::end_write_capture() {
+  capture_ = false;
+  return std::move(captured_);
 }
 
 void Machine::load_image(const isa::Image& img) {
@@ -58,6 +138,7 @@ void Machine::reload_code(const isa::Image& img) {
   }
   std::memcpy(mem_.data() + img.base(), code.data(), code.size());
   maybe_invalidate(img.base(), code.size());
+  if (!code.empty()) note_write(img.base(), code.size());
 }
 
 bool Machine::patch_code(std::uint64_t addr, const void* data,
@@ -66,6 +147,7 @@ bool Machine::patch_code(std::uint64_t addr, const void* data,
   if (addr >= mem_.size() || mem_.size() - addr < n) return false;
   std::memcpy(mem_.data() + addr, data, n);
   maybe_invalidate(addr, n);
+  note_write(addr, n);
   return true;
 }
 
@@ -188,6 +270,7 @@ bool Machine::write_u8(std::uint64_t addr, std::uint8_t v) noexcept {
   if (addr < kNullPageSize || addr >= mem_.size()) return false;
   mem_[addr] = v;
   maybe_invalidate(addr, 1);
+  note_write(addr, 1);
   return true;
 }
 
@@ -204,6 +287,7 @@ bool Machine::write_u64(std::uint64_t addr, std::uint64_t v) noexcept {
     return false;
   std::memcpy(mem_.data() + addr, &v, 8);
   maybe_invalidate(addr, 8);
+  note_write(addr, 8);
   return true;
 }
 
@@ -221,6 +305,7 @@ bool Machine::write_bytes(std::uint64_t addr, const void* data, std::size_t n) n
     return false;
   std::memcpy(mem_.data() + addr, data, n);
   maybe_invalidate(addr, n);
+  note_write(addr, n);
   return true;
 }
 

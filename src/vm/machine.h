@@ -72,6 +72,14 @@ struct WatchTrace {
   std::vector<TraceEdge> edges() const;
 };
 
+/// One recorded guest-memory write (see Machine::begin_write_capture):
+/// replaying the spans of a deterministic execution in order reproduces its
+/// memory effect exactly, without re-executing the code.
+struct WriteSpan {
+  std::uint64_t addr = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
 class Machine {
  public:
   /// `mem_size` is the flat physical memory size. The first kNullPageSize
@@ -82,6 +90,21 @@ class Machine {
   static constexpr std::uint64_t kNullPageSize = 0x1000;
   /// Sentinel return address: a top-level RET to this address ends the run.
   static constexpr std::uint64_t kReturnSentinel = 0xFFFFFFFFFFFF0000ULL;
+
+  /// Dirty-tracking granularity (one bit of bookkeeping per 4 KiB page).
+  static constexpr std::uint64_t kDirtyPageShift = 12;
+  static constexpr std::uint64_t kDirtyPageSize = 1u << kDirtyPageShift;
+
+  /// Full machine state for warm-boot snapshots: memory image plus the
+  /// execution state a restore must reproduce (registers, comparison flags,
+  /// lifetime cycle counter). Snapshots are plain data — safe to share
+  /// read-only across threads.
+  struct State {
+    std::vector<std::uint8_t> mem;
+    std::array<std::int64_t, isa::kNumRegs> regs{};
+    int flags = 0;
+    std::uint64_t total_cycles = 0;
+  };
 
   // --- setup -------------------------------------------------------------
   /// Copies an image's code into memory at its base address and remembers
@@ -132,6 +155,57 @@ class Machine {
   /// Reads a NUL-terminated byte string (bounded by max_len); false on fault.
   bool read_cstr(std::uint64_t addr, std::string& out,
                  std::size_t max_len = 4096) const noexcept;
+
+  /// Read-only pointer to `n` bytes of physical memory at `addr`, or nullptr
+  /// when the span is out of range (loader/snapshot primitive — not subject
+  /// to the null-page rule).
+  const std::uint8_t* raw(std::uint64_t addr, std::size_t n) const noexcept;
+
+  // --- dirty tracking / snapshots -----------------------------------------
+  /// Every mutation of guest memory (checked writes, patch_code, reload_code,
+  /// load_image) marks the covered kDirtyPageSize pages dirty. restore()
+  /// copies back only dirty pages, making per-iteration state reset O(dirty)
+  /// instead of O(memory).
+  bool page_dirty(std::uint64_t addr) const noexcept {
+    const std::uint64_t page = addr >> kDirtyPageShift;
+    return page < dirty_.size() && dirty_[page];
+  }
+  /// Marks [addr, addr+len) dirty (for external mutations of raw state).
+  void mark_dirty(std::uint64_t addr, std::uint64_t len) noexcept;
+  /// Clears the dirty bits covering [addr, addr+len).
+  void clear_dirty(std::uint64_t addr, std::uint64_t len) noexcept;
+  void clear_all_dirty() noexcept;
+
+  /// Captures the full machine state (memory + registers + flags + lifetime
+  /// cycle counter) and clears the dirty bitmap, establishing the baseline
+  /// restore() diffs against.
+  State snapshot();
+  /// Restores to `s` by copying back only pages dirtied since the snapshot
+  /// (plus registers/flags/cycles), invalidating the predecode cache over any
+  /// restored code pages so they re-decode lazily. `s.mem` must match
+  /// mem_size(). Clears the dirty bitmap.
+  void restore(const State& s);
+  /// Unconditional full restore (used when this machine never saw `s`'s
+  /// baseline, e.g. warm construction from a shared snapshot).
+  void restore_full(const State& s);
+
+  /// Comparison-flag state (CMP result sign); call() preserves registers but
+  /// not flags, so deterministic replays must restore these explicitly.
+  int cmp_flags() const noexcept { return flags_; }
+  void set_cmp_flags(int f) noexcept { flags_ = f; }
+
+  /// Advances the lifetime cycle counter without executing (replay of a
+  /// recorded boot must reproduce the counter exactly — activation traces
+  /// record absolute first-hit cycles).
+  void add_cycles(std::uint64_t c) noexcept { total_cycles_ += c; }
+
+  // --- write capture -------------------------------------------------------
+  /// Starts recording every checked guest write as a WriteSpan. Used once,
+  /// during the first cold boot, to learn the boot's exact memory effect;
+  /// replaying the spans is then equivalent to re-running the boot code.
+  void begin_write_capture();
+  /// Stops recording and returns the spans in write order.
+  std::vector<WriteSpan> end_write_capture();
 
   // --- execution ----------------------------------------------------------
   /// Calls the function at `addr` with up to 6 integer arguments, using a
@@ -193,8 +267,24 @@ class Machine {
       invalidate_code(addr, len);
     }
   }
+  /// Dirty-marking + optional write-capture tail shared by every mutation
+  /// path. The bitmap update is one or two byte stores for typical writes;
+  /// the capture branch is never taken outside the one-time boot recording.
+  void note_write(std::uint64_t addr, std::uint64_t len) noexcept {
+    for (std::uint64_t p = addr >> kDirtyPageShift,
+                       last = (addr + len - 1) >> kDirtyPageShift;
+         p <= last; ++p) {
+      dirty_[p] = 1;
+    }
+    if (capture_) [[unlikely]] {
+      captured_.push_back({addr, {&mem_[addr], &mem_[addr] + len}});
+    }
+  }
 
   std::vector<std::uint8_t> mem_;
+  std::vector<std::uint8_t> dirty_;  ///< one byte per kDirtyPageSize page
+  bool capture_ = false;
+  std::vector<WriteSpan> captured_;
   std::int64_t regs_[isa::kNumRegs] = {};
   int flags_ = 0;  ///< sign of last comparison: -1, 0, +1
   std::vector<CodeRange> code_ranges_;

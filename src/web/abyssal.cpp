@@ -115,6 +115,24 @@ class AbyssalServer final : public WebServer {
     return resp;
   }
 
+  void do_save_state(std::vector<std::int64_t>& out) const override {
+    for (std::uint64_t v : {scratch_, cs_, url_buf_, ansi_buf_, nt_struct_,
+                            post_buf_, static_cast<std::uint64_t>(log_handle_),
+                            served_, posts_}) {
+      out.push_back(static_cast<std::int64_t>(v));
+    }
+  }
+
+  void do_restore_state(WordReader& in) override {
+    for (auto* p : {&scratch_, &cs_, &url_buf_, &ansi_buf_, &nt_struct_,
+                    &post_buf_}) {
+      *p = static_cast<std::uint64_t>(in.next());
+    }
+    log_handle_ = in.next();
+    served_ = static_cast<std::uint64_t>(in.next());
+    posts_ = static_cast<std::uint64_t>(in.next());
+  }
+
  private:
   Response serve_post(const Request& req) {
     const auto len = std::min<std::size_t>(req.body.size(), 600);

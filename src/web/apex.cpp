@@ -120,6 +120,40 @@ class ApexServer final : public WebServer {
     return resp;
   }
 
+  void do_save_state(std::vector<std::int64_t>& out) const override {
+    for (std::uint64_t v : {cs_, stats_block_, url_buf_, canon_buf_, ansi_buf_,
+                            nt_struct_, post_buf_, pool_[0], pool_[1],
+                            static_cast<std::uint64_t>(pool_rr_),
+                            static_cast<std::uint64_t>(log_handle_),
+                            static_cast<std::uint64_t>(log_pos_), posts_,
+                            served_total_}) {
+      out.push_back(static_cast<std::int64_t>(v));
+    }
+    for (int v : {consecutive_failures_, served_since_check_,
+                  served_since_audit_, heap_probe_failures_}) {
+      out.push_back(v);
+    }
+    // The response cache is intentionally not serialized: snapshots are
+    // taken right after start(), when a fresh process's cache is cold.
+  }
+
+  void do_restore_state(WordReader& in) override {
+    for (auto* p : {&cs_, &stats_block_, &url_buf_, &canon_buf_, &ansi_buf_,
+                    &nt_struct_, &post_buf_, &pool_[0], &pool_[1]}) {
+      *p = static_cast<std::uint64_t>(in.next());
+    }
+    pool_rr_ = static_cast<std::size_t>(in.next());
+    log_handle_ = in.next();
+    log_pos_ = in.next();
+    posts_ = static_cast<std::uint64_t>(in.next());
+    served_total_ = static_cast<std::uint64_t>(in.next());
+    consecutive_failures_ = static_cast<int>(in.next());
+    served_since_check_ = static_cast<int>(in.next());
+    served_since_audit_ = static_cast<int>(in.next());
+    heap_probe_failures_ = static_cast<int>(in.next());
+    cache_.clear();
+  }
+
  private:
   /// Request-scoped failure: caught in do_handle, answered with 500.
   struct RequestAbort {};

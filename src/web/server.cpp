@@ -73,6 +73,23 @@ Response WebServer::handle(const Request& req) {
   return resp;
 }
 
+ProcessImage WebServer::save_process() const {
+  ProcessImage img;
+  img.state = state_;
+  img.stats = stats_;
+  img.last_cycles = last_cycles_;
+  do_save_state(img.words);
+  return img;
+}
+
+void WebServer::restore_process(const ProcessImage& img) {
+  state_ = img.state;
+  stats_ = img.stats;
+  last_cycles_ = img.last_cycles;
+  WordReader in(img.words);
+  do_restore_state(in);
+}
+
 bool WebServer::try_self_restart() {
   if (!has_self_restart()) return false;
   const auto saved = stats_;

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "os/api.h"
 #include "web/http.h"
@@ -41,6 +42,18 @@ struct ServerStats {
   std::uint64_t errors = 0;       ///< non-200 responses
   std::uint64_t crashes = 0;      ///< deaths observed
   std::uint64_t self_restarts = 0;
+};
+
+/// Snapshot of a server's C++-side process state (warm-boot snapshots).
+/// Servers are native code, so unlike guest memory their state cannot be
+/// captured from the VM: each server flattens its members to plain integers
+/// via do_save_state/do_restore_state (the analogue of ZOFI cloning the
+/// warmed process image instead of re-launching).
+struct ProcessImage {
+  ServerState state = ServerState::kStopped;
+  ServerStats stats;
+  std::uint64_t last_cycles = 0;
+  std::vector<std::int64_t> words;  ///< per-server scalars, declaration order
 };
 
 class WebServer {
@@ -78,7 +91,24 @@ class WebServer {
   /// VM cycles consumed by the last handle() call (performance model input).
   std::uint64_t last_request_cycles() const noexcept { return last_cycles_; }
 
+  /// Captures / restores the full C++-side process state. A restored server
+  /// object behaves exactly like the one save_process() was called on —
+  /// guest-side resources it refers to (handles, heap blocks) must be
+  /// restored separately via the kernel snapshot taken at the same point.
+  ProcessImage save_process() const;
+  void restore_process(const ProcessImage& img);
+
  protected:
+  /// Sequential reader for ProcessImage::words (restore side).
+  class WordReader {
+   public:
+    explicit WordReader(const std::vector<std::int64_t>& w) : w_(w) {}
+    std::int64_t next() { return w_.at(i_++); }
+
+   private:
+    const std::vector<std::int64_t>& w_;
+    std::size_t i_ = 0;
+  };
   /// Thrown by request handling when an API call hangs.
   struct ApiHang {};
   /// Thrown when the process dies (unhandled fault consequence).
@@ -89,6 +119,10 @@ class WebServer {
   virtual bool do_start() = 0;
   virtual void do_stop() {}
   virtual Response do_handle(const Request& req) = 0;
+  /// Appends / re-reads every member that affects behaviour, in declaration
+  /// order. The base class covers state/stats/last-cycles.
+  virtual void do_save_state(std::vector<std::int64_t>& out) const = 0;
+  virtual void do_restore_state(WordReader& in) = 0;
 
   os::OsApi& api() noexcept { return api_; }
 

@@ -115,6 +115,23 @@ class SambarServer final : public WebServer {
     return resp;
   }
 
+  void do_save_state(std::vector<std::int64_t>& out) const override {
+    for (std::uint64_t v : {base_, cs_, url_buf_, canon_buf_, ansi_buf_,
+                            str_buf_, post_buf_, data_buf_,
+                            static_cast<std::uint64_t>(log_handle_), served_}) {
+      out.push_back(static_cast<std::int64_t>(v));
+    }
+  }
+
+  void do_restore_state(WordReader& in) override {
+    for (auto* p : {&base_, &cs_, &url_buf_, &canon_buf_, &ansi_buf_,
+                    &str_buf_, &post_buf_, &data_buf_}) {
+      *p = static_cast<std::uint64_t>(in.next());
+    }
+    log_handle_ = in.next();
+    served_ = static_cast<std::uint64_t>(in.next());
+  }
+
  private:
   /// Periodic maintenance: page-table audit of the data buffer, native
   /// re-open of the config file, log position reset.
@@ -207,6 +224,23 @@ class SavantServer final : public WebServer {
       for (auto& b : resp.body) b = dynamic_transform(b);
     }
     return resp;
+  }
+
+  void do_save_state(std::vector<std::int64_t>& out) const override {
+    for (std::uint64_t v : {base_, cs_, url_buf_, ansi_buf_, str_a_, str_b_,
+                            nt_struct_, data_buf_, post_buf_,
+                            static_cast<std::uint64_t>(log_handle_), served_}) {
+      out.push_back(static_cast<std::int64_t>(v));
+    }
+  }
+
+  void do_restore_state(WordReader& in) override {
+    for (auto* p : {&base_, &cs_, &url_buf_, &ansi_buf_, &str_a_, &str_b_,
+                    &nt_struct_, &data_buf_, &post_buf_}) {
+      *p = static_cast<std::uint64_t>(in.next());
+    }
+    log_handle_ = in.next();
+    served_ = static_cast<std::uint64_t>(in.next());
   }
 
  private:

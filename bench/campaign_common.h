@@ -10,9 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "depbench/campaign_report.h"
 #include "depbench/report.h"
 #include "depbench/runner.h"
 #include "depbench/tuner.h"
+#include "obs/progress.h"
 #include "swfit/scanner.h"
 #include "trace/activation.h"
 #include "util/log.h"
@@ -34,8 +36,21 @@ struct CampaignOptions {
   /// Results are bit-identical either way; the flag exists for the A/B
   /// speedup measurement in BENCH_snapshot.json.
   bool cold_boot = false;
+  /// Rate-limited live progress on stderr (faults/s, ETA, cells done)
+  /// instead of the per-cell log lines. Display only — never feeds the
+  /// deterministic artifacts.
+  bool progress = false;
+  std::string metrics_json;  ///< campaign manifest (Table 5 + merged metrics)
+  std::string journal_out;   ///< per-task event journal, JSONL
+  std::string chrome_trace;  ///< Perfetto-loadable trace-event JSON
+  std::string html_report;   ///< self-contained HTML report
   bool trace() const { return activation_report || !trace_out.empty() ||
                               !activation_json.empty(); }
+  /// Any artifact that needs per-task TaskObs bundles?
+  bool obs() const {
+    return !metrics_json.empty() || !journal_out.empty() ||
+           !chrome_trace.empty() || !html_report.empty();
+  }
 };
 
 inline CampaignOptions parse_options(int argc, char** argv) {
@@ -69,13 +84,25 @@ inline CampaignOptions parse_options(int argc, char** argv) {
       opt.activation_json = argv[++i];
     } else if (std::strcmp(argv[i], "--cold-boot") == 0) {
       opt.cold_boot = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      opt.progress = true;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      opt.metrics_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
+      opt.journal_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      opt.chrome_trace = argv[++i];
+    } else if (std::strcmp(argv[i], "--html-report") == 0 && i + 1 < argc) {
+      opt.html_report = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick|--full] [--scale S] [--stride K] "
                    "[--iterations N] [--jobs J] [--shards S] [--seed X] "
                    "[--baseline-ms MS] [--activation-report] "
                    "[--trace-out FILE.jsonl] [--activation-json FILE.json] "
-                   "[--cold-boot]\n",
+                   "[--cold-boot] [--progress] [--metrics-json FILE] "
+                   "[--journal-out FILE.jsonl] [--chrome-trace FILE] "
+                   "[--html-report FILE]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -94,7 +121,50 @@ inline depbench::RunnerOptions to_runner_options(const CampaignOptions& opt) {
   ropt.baseline_window_ms = opt.baseline_ms;
   ropt.trace = opt.trace();
   ropt.warm_boot = !opt.cold_boot;
+  ropt.obs = opt.obs();
   return ropt;
+}
+
+/// Writes the observability artifacts of a finished campaign: the JSON
+/// manifest (Table 5 cells + derived metrics + merged registry), the
+/// slot-ordered journal JSONL, the Chrome trace and the HTML report.
+/// Everything validates under tools/json_check (see run_benches.sh).
+inline void emit_obs_outputs(const std::vector<depbench::ExperimentCell>& cells,
+                             const CampaignOptions& opt,
+                             const depbench::CampaignRunner& runner) {
+  if (!opt.obs()) return;
+  const auto* obs = runner.campaign_obs();
+  auto write = [](const std::string& path, const std::string& content,
+                  const char* what) {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    out << content;
+    std::fprintf(stderr, "[campaign] %s -> %s\n", what, path.c_str());
+  };
+  write(opt.metrics_json,
+        depbench::campaign_manifest_json(cells, runner.options(), obs),
+        "campaign manifest");
+  write(opt.html_report,
+        depbench::campaign_html_report(cells, runner.options(), obs),
+        "html report");
+  if (!opt.journal_out.empty() && obs != nullptr) {
+    std::ofstream out(opt.journal_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.journal_out.c_str());
+      std::exit(1);
+    }
+    depbench::write_campaign_journal(out, *obs);
+    std::fprintf(stderr, "[campaign] event journal -> %s\n",
+                 opt.journal_out.c_str());
+  }
+  if (!opt.chrome_trace.empty() && obs != nullptr) {
+    write(opt.chrome_trace, depbench::campaign_chrome_trace(*obs),
+          "chrome trace");
+  }
 }
 
 /// Runs all four cells (2 servers x 2 OS versions). Results are independent
@@ -102,8 +172,9 @@ inline depbench::RunnerOptions to_runner_options(const CampaignOptions& opt) {
 /// same numbers as the sequential run, just faster.
 inline std::vector<depbench::ExperimentCell> run_all_cells(
     const CampaignOptions& opt) {
-  // Campaign benches narrate progress (one util::log line per completed
-  // cell) so long runs are observable.
+  // Campaign benches narrate progress so long runs are observable: by
+  // default one util::log line per completed cell; with --progress a
+  // rate-limited live reporter (faults/s, ETA) replaces the per-cell lines.
   if (util::log_level() > util::LogLevel::kInfo) {
     util::set_log_level(util::LogLevel::kInfo);
   }
@@ -114,8 +185,13 @@ inline std::vector<depbench::ExperimentCell> run_all_cells(
                opt.jobs > 0 ? std::to_string(opt.jobs).c_str() : "auto",
                opt.trace() ? ", tracing on" : "",
                opt.cold_boot ? ", cold boot" : ", warm boot");
-  depbench::CampaignRunner runner(to_runner_options(opt));
-  return runner.run_campaign();
+  obs::ProgressReporter progress;
+  auto ropt = to_runner_options(opt);
+  if (opt.progress) ropt.progress = &progress;
+  depbench::CampaignRunner runner(ropt);
+  auto cells = runner.run_campaign();
+  emit_obs_outputs(cells, opt, runner);
+  return cells;
 }
 
 /// Activation outputs shared by the table5/fig5 drivers: prints the

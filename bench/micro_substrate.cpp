@@ -7,6 +7,8 @@
 
 #include "depbench/controller.h"
 #include "minic/compiler.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
 #include "os/api.h"
 #include "os/kernel.h"
 #include "os/layout.h"
@@ -148,6 +150,38 @@ void BM_ApiCallAlloc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ApiCallAlloc);
+
+/// A/B partner of BM_ApiCallAlloc with the obs sink attached: the only live
+/// per-call instrumentation in the whole substrate is this one null-check +
+/// ApiMetrics::record, so the delta against BM_ApiCallAlloc *is* the
+/// observability overhead of an OS API call (BENCH_obs.json tracks the
+/// ratio; everything else is harvested at run boundaries).
+void BM_ApiCallAllocObs(benchmark::State& state) {
+  os::Kernel kernel(os::OsVersion::kVos2000);
+  os::OsApi api(kernel);
+  obs::ApiMetrics sink;
+  api.set_metrics(&sink);
+  for (auto _ : state) {
+    const auto r = api.rtl_alloc(256);
+    benchmark::DoNotOptimize(r.value);
+    api.rtl_free(static_cast<std::uint64_t>(r.value));
+  }
+}
+BENCHMARK(BM_ApiCallAllocObs);
+
+/// Journal ring append: span begin/end pair per iteration. Bounded ring,
+/// no allocation once warm — the cost a controller pays per recorded event.
+void BM_JournalAppend(benchmark::State& state) {
+  obs::Journal j;
+  std::uint64_t cycle = 0;
+  for (auto _ : state) {
+    j.begin("fault", 1.0, cycle);
+    j.end("fault", 2.0, cycle + 1);
+    cycle += 2;
+  }
+  benchmark::DoNotOptimize(j.size());
+}
+BENCHMARK(BM_JournalAppend);
 
 void BM_ApiCallOpenReadClose(benchmark::State& state) {
   os::Kernel kernel(os::OsVersion::kVos2000);

@@ -14,10 +14,11 @@ BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_micro.json}
 ACT_OUT=${ACT_OUT:-BENCH_activation.json}
 SNAP_OUT=${SNAP_OUT:-BENCH_snapshot.json}
+OBS_OUT=${OBS_OUT:-BENCH_obs.json}
 [ $# -ge 1 ] && shift
 [ $# -ge 1 ] && shift
 
-for bin in bench/micro_substrate bench/table5_campaign; do
+for bin in bench/micro_substrate bench/table5_campaign tools/json_check; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built" \
          "(cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
@@ -73,3 +74,59 @@ cold_ms=$(( $(now_ms) - t0 ))
   echo "}"
 } > "$SNAP_OUT"
 echo "snapshot speedup written to $SNAP_OUT" >&2
+
+# Observability overhead (BENCH_obs.json). Micro: VM dispatch rate with obs
+# compiled in (acceptance bar: >= 95% of the pre-obs baseline — counters are
+# harvested at run boundaries, the loop only keeps a local step register)
+# and the API-call A/B against the one live sink (BM_ApiCallAlloc vs
+# BM_ApiCallAllocObs). End-to-end: the same quick campaign with and without
+# the artifact pipeline (per-task TaskObs + merge + manifest/journal/trace
+# rendering); results are bit-identical, only wall time differs.
+obs_json=$(awk '
+  /"name":/ { name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name) }
+  /"items_per_second":/ {
+    t = $0; sub(/.*"items_per_second": /, "", t); sub(/,.*/, "", t)
+    if (name ~ /^BM_VmDispatch\/100000$/ && !(name in seen)) {
+      dispatch = t; seen[name] = 1
+    }
+  }
+  /"real_time":/ {
+    t = $0; sub(/.*"real_time": /, "", t); sub(/,.*/, "", t)
+    if (name == "BM_ApiCallAlloc" && !(name in seen)) { plain = t; seen[name] = 1 }
+    if (name == "BM_ApiCallAllocObs" && !(name in seen)) { obs = t; seen[name] = 1 }
+  }
+  END {
+    if (dispatch == "" || plain == "" || obs == "" || plain + 0 == 0) exit 1
+    printf "  \"vm_dispatch_items_per_s\": %s,\n", dispatch
+    printf "  \"api_call_ns\": %s,\n  \"api_call_obs_ns\": %s,\n", plain, obs
+    printf "  \"api_obs_overhead\": %.3f", obs / plain
+  }' "$OUT")
+
+OBS_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_DIR"' EXIT
+t0=$(now_ms)
+"$BUILD_DIR/bench/table5_campaign" "${AB_ARGS[@]}" \
+  --metrics-json "$OBS_DIR/manifest.json" \
+  --journal-out "$OBS_DIR/journal.jsonl" \
+  --chrome-trace "$OBS_DIR/trace.json" \
+  --html-report "$OBS_DIR/report.html" > /dev/null 2>&1
+obs_ms=$(( $(now_ms) - t0 ))
+
+{
+  echo "{"
+  echo "$obs_json,"
+  echo "  \"campaign_plain_ms\": $warm_ms,"
+  echo "  \"campaign_obs_ms\": $obs_ms,"
+  awk -v p="$warm_ms" -v o="$obs_ms" \
+    'BEGIN { printf("  \"campaign_obs_overhead\": %.3f\n", (p > 0) ? o / p : 0) }'
+  echo "}"
+} > "$OBS_OUT"
+echo "obs overhead written to $OBS_OUT" >&2
+
+# Validate every emitted JSON artifact; a malformed emitter fails the run
+# loudly here instead of producing quietly-broken dashboards downstream.
+"$BUILD_DIR/tools/json_check" "$OUT" "$ACT_OUT" "$SNAP_OUT" "$OBS_OUT"
+"$BUILD_DIR/tools/json_check" --schema manifest "$OBS_DIR/manifest.json"
+"$BUILD_DIR/tools/json_check" --schema chrome "$OBS_DIR/trace.json"
+"$BUILD_DIR/tools/json_check" --jsonl "$OBS_DIR/journal.jsonl"
+echo "artifact validation ok" >&2

@@ -1,0 +1,41 @@
+// Campaign report generator: machine-readable manifest + human-readable
+// HTML, both derived from the same merged results and obs artifacts.
+//
+// The manifest (schema "genfault-campaign/1") carries the Table 5 / Fig 5
+// results next to the merged metrics registry so a single JSON file fully
+// describes a campaign run; the HTML report renders the same data
+// self-contained (no external assets) with per-cell drill-down. Rendering is
+// canonical (fixed key order, fixed number formatting), so equal campaigns
+// produce byte-identical artifacts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "depbench/runner.h"
+
+namespace gf::depbench {
+
+/// JSON manifest of a whole campaign: options, per-cell results (baseline,
+/// iterations, derived §3.2 metrics), and — when `obs` is non-null — the
+/// merged metrics registry. Validated by tools/json_check --schema manifest.
+std::string campaign_manifest_json(const std::vector<ExperimentCell>& cells,
+                                   const RunnerOptions& opt,
+                                   const CampaignObs* obs);
+
+/// Self-contained HTML report: Table 5 per cell with <details> drill-down
+/// into every iteration and the top metrics, plus the Fig 5 relative bars.
+std::string campaign_html_report(const std::vector<ExperimentCell>& cells,
+                                 const RunnerOptions& opt,
+                                 const CampaignObs* obs);
+
+/// Flushes every task journal as JSONL, in slot order (track =
+/// "<cell>/<label>") — byte-identical for any --jobs.
+void write_campaign_journal(std::ostream& os, const CampaignObs& obs);
+
+/// Chrome trace-event JSON of the whole campaign: shard tasks on host
+/// wall-clock (pid 1) + per-task journals on VM virtual time (pid 2).
+std::string campaign_chrome_trace(const CampaignObs& obs);
+
+}  // namespace gf::depbench

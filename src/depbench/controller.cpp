@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "trace/probe.h"
 #include "trace/tracer.h"
 #include "util/log.h"
 
@@ -17,6 +18,7 @@ Controller::Controller(os::OsVersion version, const std::string& server_name,
       fileset_(std::make_unique<spec::Fileset>(kernel_->disk())),
       server_(web::make_server(server_name, *api_)) {
   cfg_.client.connections = cfg_.connections;
+  if (cfg_.obs != nullptr) api_->set_metrics(&cfg_.obs->api);
 }
 
 Controller::Controller(std::shared_ptr<const snapshot::WarmSnapshot> snap,
@@ -30,6 +32,7 @@ Controller::Controller(std::shared_ptr<const snapshot::WarmSnapshot> snap,
       warm_started_(true) {
   cfg_.client.connections = cfg_.connections;
   server_->restore_process(snap->server);
+  if (cfg_.obs != nullptr) api_->set_metrics(&cfg_.obs->api);
 }
 
 void Controller::bring_up() {
@@ -45,20 +48,69 @@ void Controller::bring_up() {
   }
 }
 
+void Controller::obs_begin_run() {
+  if (cfg_.obs == nullptr) return;
+  obs_vm_base_ = kernel_->machine().dispatch_stats();
+  obs_kernel_base_ = kernel_->counters();
+  cfg_.obs->journal.instant("bring_up", 0, kernel_->machine().total_cycles());
+}
+
+void Controller::obs_end_run(const spec::WindowMetrics& m) {
+  if (cfg_.obs == nullptr) return;
+  auto& r = cfg_.obs->metrics;
+  // Harvest the hot layers' raw counters as deltas over this run. The keys
+  // are added unconditionally (delta 0 included) so the registry's key set
+  // — and therefore its canonical rendering — is stable.
+  const auto& vs = kernel_->machine().dispatch_stats();
+  r.add("vm.instructions", vs.instructions - obs_vm_base_.instructions);
+  r.add("vm.runs", vs.runs - obs_vm_base_.runs);
+  for (std::size_t i = 1; i < vm::kNumTraps; ++i) {
+    r.add("vm.trap." + std::string(vm::trap_name(static_cast<vm::Trap>(i))),
+          vs.traps[i] - obs_vm_base_.traps[i]);
+  }
+  const auto& kc = kernel_->counters();
+  r.add("os.reboots", kc.reboots - obs_kernel_base_.reboots);
+  r.add("os.reboots.cold", kc.cold_boots - obs_kernel_base_.cold_boots);
+  r.add("os.reboots.replay", kc.replay_boots - obs_kernel_base_.replay_boots);
+  r.add("os.syscalls", kc.syscalls - obs_kernel_base_.syscalls);
+  r.add("os.code_syncs", kc.code_syncs - obs_kernel_base_.code_syncs);
+  r.add("client.ops", m.ops);
+  r.add("client.errors", m.errors);
+  r.add("client.bytes", m.bytes);
+  // End-of-run kernel health: free-list depth as a gauge plus a violation
+  // counter (a non-zero value here means latent corruption survived the run).
+  const auto inv = trace::snapshot_invariants(*kernel_);
+  r.gauge("kernel.heap.free_nodes", inv.heap_free_nodes);
+  if (!inv.heap_ok || !inv.handles_ok) r.add("kernel.invariant_violations");
+}
+
 spec::WindowMetrics Controller::run_baseline(double duration_ms,
                                              std::uint64_t seed) {
+  obs_begin_run();
   bring_up();
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->journal.begin("baseline", 0, kernel_->machine().total_cycles());
+  }
   spec::WorkloadGenerator gen(*fileset_, seed);
   spec::SpecClient client(cfg_.client);
   auto m = client.run_window(*server_, gen, 0, duration_ms);
   server_->stop();
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->journal.end("baseline", duration_ms,
+                          kernel_->machine().total_cycles());
+  }
+  obs_end_run(m);
   return m;
 }
 
 spec::WindowMetrics Controller::run_profile_mode(const swfit::Faultload& fl,
                                                  double duration_ms,
                                                  std::uint64_t seed) {
+  obs_begin_run();
   bring_up();
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->journal.begin("profile", 0, kernel_->machine().total_cycles());
+  }
   spec::WorkloadGenerator gen(*fileset_, seed);
   // The injector runs co-located with the server (paper Fig. 3); its
   // schedule bookkeeping and monitor polling steal a small CPU share,
@@ -91,6 +143,11 @@ spec::WindowMetrics Controller::run_profile_mode(const swfit::Faultload& fl,
   auto m = client.run_window(*server_, gen, 0, duration_ms, tick);
   (void)window_check;
   server_->stop();
+  if (cfg_.obs != nullptr) {
+    cfg_.obs->journal.end("profile", duration_ms,
+                          kernel_->machine().total_cycles());
+  }
+  obs_end_run(m);
   return m;
 }
 
@@ -100,6 +157,7 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
     throw std::invalid_argument(
         "faultload was generated for a different OS build");
   }
+  obs_begin_run();
   bring_up();
 
   spec::WorkloadGenerator gen(*fileset_, seed);
@@ -110,6 +168,14 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
   spec::SpecClient client(ccfg);
   swfit::Injector injector(*kernel_);
   CampaignCounters counters;
+
+  // Journal plumbing: fault spans are opened at inject and closed wherever
+  // the fault actually ends (scheduled swap, admin restart, iteration end).
+  obs::Journal* jr = cfg_.obs != nullptr ? &cfg_.obs->journal : nullptr;
+  auto cyc = [&] { return kernel_->machine().total_cycles(); };
+  auto obs_fault_end = [&](double now) {
+    if (jr != nullptr && injector.active()) jr->end("fault", now, cyc());
+  };
 
   // Activation & propagation tracing: armed per fault, finished (probed +
   // classified) whenever the fault is removed, for whatever reason.
@@ -149,10 +215,12 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
 
   auto begin_admin_restart = [&](double now) {
     finish_fault();
+    obs_fault_end(now);
     injector.restore();  // the 10 s exposure of this fault effectively ends
     server_->stop();
     kernel_->reboot();   // administrator reboots the corrupted OS
     server_up_at = now + restart_time;
+    if (jr != nullptr) jr->instant("admin_restart", now, cyc());
   };
 
   auto tick = [&](double now) {
@@ -161,6 +229,7 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
       if (server_->state() == web::ServerState::kStopped) {
         if (server_->start()) {
           server_up_at = -1;
+          if (jr != nullptr) jr->instant("server_up", now, cyc());
         } else {
           // OS still too broken to boot the server; administrator retries.
           kernel_->reboot();
@@ -174,6 +243,7 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
     // 2. Fault schedule: swap the active fault every `exposure` ms.
     if (now >= next_swap) {
       finish_fault();
+      obs_fault_end(now);
       injector.restore();
       self_restarts_this_fault = 0;
       // Slot boundary (paper Fig. 4): the SUB is reset between slots; this
@@ -186,16 +256,25 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
         if (!server_->start()) {
           server_up_at = now + restart_time;  // retried in step 1
         }
+        if (jr != nullptr) jr->instant("slot_reset", now, cyc());
       }
       if (next_fault < fl.faults.size()) {
-        if (!injector.inject(fl.faults[next_fault])) {
+        const auto& f = fl.faults[next_fault];
+        if (!injector.inject(f)) {
           throw std::runtime_error("stale faultload: window mismatch");
         }
         if (tracer) {
           errors_at_begin = server_->stats().errors;
-          tracer->begin_fault(static_cast<std::uint32_t>(next_fault),
-                              fl.faults[next_fault]);
+          tracer->begin_fault(static_cast<std::uint32_t>(next_fault), f);
         }
+        if (jr != nullptr) {
+          jr->begin("fault", now, cyc(),
+                    "{\"index\": " + std::to_string(next_fault) +
+                        ", \"type\": \"" +
+                        std::string(swfit::fault_type_name(f.type)) +
+                        "\", \"fn\": \"" + f.function + "\"}");
+        }
+        if (cfg_.progress != nullptr) cfg_.progress->add_faults(1);
         ++counters.faults_injected;
         ++injected_this_slot;
         next_fault += stride;
@@ -242,6 +321,7 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
         if (budget_left && server_->try_self_restart()) {
           ++self_restarts_this_fault;
           ++counters.self_restarts;
+          if (jr != nullptr) jr->instant("self_restart", now, cyc());
         } else {
           ++counters.mis;  // died and did not (or could not) self-restart
           begin_admin_restart(now);
@@ -257,23 +337,49 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
   const auto remaining = offset < fl.faults.size() ? fl.faults.size() - offset : 0;
   const auto total_faults = (remaining + stride - 1) / stride;
   const double duration = static_cast<double>(total_faults) * exposure;
-  GF_INFO() << "campaign iteration: " << server_->name() << " on "
-            << os::os_version_name(kernel_->version()) << ", "
-            << total_faults << " faults, " << duration / 1000 << " sim-s";
+  // Narrative logging is debug-level; live campaign progress comes from the
+  // rate-limited reporter (cfg_.progress) instead of per-iteration spam.
+  GF_DEBUG() << "campaign iteration: " << server_->name() << " on "
+             << os::os_version_name(kernel_->version()) << ", "
+             << total_faults << " faults, " << duration / 1000 << " sim-s";
+  if (jr != nullptr) {
+    jr->begin("iteration", 0, cyc(),
+              "{\"faults\": " + std::to_string(total_faults) + "}");
+  }
   auto metrics = client.run_window(*server_, gen, 0, duration, tick);
-  GF_INFO() << "iteration done: ops=" << metrics.ops
-            << " er%=" << metrics.er_pct << " mis=" << counters.mis
-            << " kns=" << counters.kns << " kcp=" << counters.kcp;
+  GF_DEBUG() << "iteration done: ops=" << metrics.ops
+             << " er%=" << metrics.er_pct << " mis=" << counters.mis
+             << " kns=" << counters.kns << " kcp=" << counters.kcp;
 
   finish_fault();
+  obs_fault_end(duration);
   injector.restore();
   server_->stop();
+  if (jr != nullptr) jr->end("iteration", duration, cyc());
+  trace::sort_records(activations);
+  if (cfg_.obs != nullptr) {
+    auto& r = cfg_.obs->metrics;
+    r.add("campaign.faults_injected",
+          static_cast<std::uint64_t>(counters.faults_injected));
+    r.add("campaign.mis", static_cast<std::uint64_t>(counters.mis));
+    r.add("campaign.kns", static_cast<std::uint64_t>(counters.kns));
+    r.add("campaign.kcp", static_cast<std::uint64_t>(counters.kcp));
+    r.add("campaign.self_restarts",
+          static_cast<std::uint64_t>(counters.self_restarts));
+    r.add("inject.patches", injector.injections());
+    r.add("inject.restores", injector.restores());
+    r.add("inject.verifies", injector.verifies());
+    r.add("inject.verify_failures", injector.verify_failures());
+    trace::export_metrics(activations, r);
+  }
+  // Harvest (incl. the end-state invariant probe) before the scrub reboot
+  // erases what the iteration did to the kernel.
+  obs_end_run(metrics);
   kernel_->reboot();
 
   IterationResult result;
   result.metrics = metrics;
   result.counters = counters;
-  trace::sort_records(activations);
   result.activations = std::move(activations);
   return result;
 }

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "depbench/task_obs.h"
+#include "obs/progress.h"
 #include "os/api.h"
 #include "os/kernel.h"
 #include "snapshot/warmboot.h"
@@ -54,6 +56,12 @@ struct ControllerConfig {
   /// live (more precise latency attribution for latent corruption, at a
   /// per-call walk cost). Only meaningful when `trace` is on.
   bool trace_probe_per_call = false;
+  /// Per-task observability bundle (metrics + journal), owned by the caller.
+  /// Null (the default) compiles the campaign down to a handful of
+  /// never-taken branches at run boundaries — the hot paths are untouched.
+  TaskObs* obs = nullptr;
+  /// Shared campaign progress reporter; bumped once per injected fault.
+  obs::ProgressReporter* progress = nullptr;
   spec::ClientConfig client;  ///< timing model knobs
 };
 
@@ -113,7 +121,15 @@ class Controller {
   /// warm-constructed controller whose snapshot already contains it.
   void bring_up();
 
+  /// Observability harvest window: begin records the lifetime counter
+  /// baselines, end folds the deltas (VM dispatch, kernel activity, client
+  /// window tallies) into the task registry. No-ops without cfg_.obs.
+  void obs_begin_run();
+  void obs_end_run(const spec::WindowMetrics& m);
+
   ControllerConfig cfg_;
+  vm::DispatchStats obs_vm_base_;
+  os::KernelCounters obs_kernel_base_;
   std::unique_ptr<os::Kernel> kernel_;
   std::unique_ptr<os::OsApi> api_;
   std::unique_ptr<spec::Fileset> fileset_;

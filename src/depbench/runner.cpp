@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -78,6 +79,25 @@ spec::WindowMetrics merge_windows(const spec::WindowMetrics& a,
   return m;
 }
 
+void CampaignObs::merge_tasks() {
+  // The merges are commutative folds, but a fixed (slot) order keeps the
+  // join auditable.
+  for (const auto& slot : tasks) {
+    metrics.merge(slot.obs.metrics);
+    api.merge(slot.obs.api);
+  }
+  api.export_into(metrics);
+  // Kernel churn derived from the per-function API counts: heap and handle
+  // lifecycles in VOS happen exclusively through these entry points.
+  auto c = [&](const char* n) { return metrics.counter(n); };
+  metrics.add("kernel.heap.allocs", c("api.RtlAllocateHeap.calls"));
+  metrics.add("kernel.heap.frees", c("api.RtlFreeHeap.calls"));
+  metrics.add("kernel.handles.opened",
+              c("api.NtCreateFile.calls") + c("api.NtOpenFile.calls"));
+  metrics.add("kernel.handles.closed",
+              c("api.NtClose.calls") + c("api.CloseHandle.calls"));
+}
+
 IterationResult merge_shards(const std::vector<IterationResult>& shards) {
   if (shards.empty()) return {};
   IterationResult merged = shards.front();
@@ -145,12 +165,35 @@ void CampaignRunner::run_tasks(
 }
 
 std::vector<ExperimentCell> CampaignRunner::run_campaign() {
+  // Scan-cache traffic attributable to this campaign (process-wide memo, so
+  // absolute hit/miss values are not a pure function of the campaign — only
+  // the request delta is recorded).
+  const auto scan0 = swfit::scan_cache_stats();
   scan_faultloads();
+  const auto scan1 = swfit::scan_cache_stats();
 
   const auto iters = static_cast<std::size_t>(std::max(0, opt_.iterations));
   const auto shards = static_cast<std::size_t>(std::max(1, opt_.shards));
   const std::size_t n_cells = opt_.versions.size() * opt_.servers.size();
   const std::size_t tasks_per_cell = 1 + iters * shards;
+
+  // Observability slots mirror the result slots: one private bundle per
+  // (cell, task), merged in slot order after the join.
+  obs_.reset();
+  if (opt_.obs) {
+    obs_ = std::make_unique<CampaignObs>();
+    obs_->tasks.resize(n_cells * tasks_per_cell);
+  }
+  if (opt_.progress != nullptr) {
+    std::uint64_t planned = 0;
+    const auto stride = static_cast<std::size_t>(std::max(1, opt_.stride));
+    for (const auto version : opt_.versions) {
+      const auto n = faultload_for(version).faults.size();
+      planned += opt_.servers.size() * iters * ((n + stride - 1) / stride);
+    }
+    opt_.progress->set_total(planned);
+  }
+  const auto wall0 = std::chrono::steady_clock::now();
 
   // Warm-boot snapshots: one bring-up per cell (parallelized), shared
   // read-only by every task of that cell. Each task then clones a private
@@ -183,7 +226,22 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     const auto& server = opt_.servers[cell % opt_.servers.size()];
     const auto& fl = faultload_for(version);
     auto cfg = cell_config(server, opt_);
+    cfg.progress = opt_.progress;
     const auto seed = derive_seed(opt_.seed, cell, task);
+
+    TaskObsSlot* slot = obs_ ? &obs_->tasks[idx] : nullptr;
+    if (slot != nullptr) {
+      slot->cell = std::string(os::os_version_name(version)) + "/" + server;
+      slot->label = task == 0
+                        ? "baseline"
+                        : "iter" + std::to_string((task - 1) / shards) +
+                              ".shard" + std::to_string((task - 1) % shards);
+      cfg.obs = &slot->obs;
+      slot->obs.wall_start_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - wall0)
+              .count();
+    }
 
     auto build = [&](const ControllerConfig& c) {
       return opt_.warm_boot ? std::make_unique<Controller>(warm[cell], c)
@@ -200,11 +258,22 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
       auto ctl = build(cfg);
       shard_results[cell][task - 1] = ctl->run_iteration(fl, seed);
     }
+    if (slot != nullptr) {
+      slot->obs.wall_end_us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - wall0)
+                                  .count();
+    }
     if (remaining[cell].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      GF_INFO() << "campaign cell done: " << server << " on "
-                << os::os_version_name(version) << " ("
-                << cells_done.fetch_add(1, std::memory_order_relaxed) + 1
-                << "/" << n_cells << " cells)";
+      const auto done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (opt_.progress != nullptr) {
+        opt_.progress->cell_done(
+            std::string(os::os_version_name(version)) + "/" + server, done,
+            n_cells);
+      } else {
+        GF_INFO() << "campaign cell done: " << server << " on "
+                  << os::os_version_name(version) << " (" << done << "/"
+                  << n_cells << " cells)";
+      }
     }
   });
 
@@ -219,6 +288,29 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
           std::vector<IterationResult>(first, first + static_cast<std::ptrdiff_t>(shards))));
     }
   }
+
+  if (obs_) {
+    // Deterministic join: fold the per-task bundles in slot order, then add
+    // the campaign-level tallies no single task can know.
+    obs_->merge_tasks();
+    obs_->metrics.add("campaign.cells", n_cells);
+    obs_->metrics.add("campaign.tasks", n_cells * tasks_per_cell);
+    obs_->metrics.add("scan.requests", (scan1.hits + scan1.misses) -
+                                           (scan0.hits + scan0.misses));
+    for (const auto& [version, fl] : faultloads_) {
+      obs_->metrics.add("scan.faults", fl.faults.size());
+    }
+    obs_->metrics.add("snapshot.captures", opt_.warm_boot ? n_cells : 0);
+    obs_->metrics.add(opt_.warm_boot ? "snapshot.warm_tasks"
+                                     : "snapshot.cold_tasks",
+                      n_cells * tasks_per_cell);
+    for (const auto& snap : warm) {
+      if (snap) {
+        obs_->metrics.gauge("snapshot.bringup_cycles", snap->capture_cycles);
+      }
+    }
+  }
+  if (opt_.progress != nullptr) opt_.progress->finish();
   return cells;
 }
 

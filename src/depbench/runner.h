@@ -18,11 +18,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "depbench/report.h"
+#include "depbench/task_obs.h"
+#include "obs/progress.h"
 #include "swfit/faultload.h"
 
 namespace gf::depbench {
@@ -51,6 +54,14 @@ struct RunnerOptions {
   /// for any `jobs` value (the capture mirrors the cold bring-up exactly);
   /// off = the original cold path, kept for A/B and equivalence tests.
   bool warm_boot = true;
+  /// Observability: give every task a private TaskObs bundle and merge them
+  /// at the join (CampaignRunner::campaign_obs()). The merged registry and
+  /// journal are byte-identical for any `jobs` at fixed shards/seed; see
+  /// CampaignObs for the shard-invariance contract.
+  bool obs = false;
+  /// Optional live progress reporter (rate-limited stderr, ETA). Never
+  /// feeds the deterministic artifacts.
+  obs::ProgressReporter* progress = nullptr;
 };
 
 /// Per-task seed: a pure function of (campaign seed, cell, task) so a task's
@@ -72,6 +83,41 @@ spec::WindowMetrics merge_windows(const spec::WindowMetrics& a,
 /// Folds the shard results of one iteration; the single-shard case is the
 /// identity, so shards = 1 reproduces an unsharded run bit-exactly.
 IterationResult merge_shards(const std::vector<IterationResult>& shards);
+
+/// One task's observability bundle plus its identity, kept in (cell, task)
+/// slot order — the canonical order every rendering walks, which is what
+/// makes the flushed artifacts independent of scheduling.
+struct TaskObsSlot {
+  std::string cell;   ///< "VOS-2000/apex"
+  std::string label;  ///< "baseline" or "iter<I>.shard<S>"
+  TaskObs obs;
+};
+
+/// Merged campaign observability.
+///
+/// Determinism contract:
+///   - For a fixed (seed, stride, shards, time_scale) the merged registry
+///     JSON and the slot-ordered journal JSONL are byte-identical for any
+///     `jobs` value — tasks are pure functions of (seed, cell, task) and the
+///     merge folds them in slot order.
+///   - Across different `shards` values only the fault-indexed subset is
+///     invariant (campaign.faults_injected, inject.patches/restores/
+///     verifies, trace.*): sharding changes the per-task seeds and slot
+///     boundaries, so workload-coupled counters (client.ops, vm.*, api.*)
+///     legitimately differ. tests/test_obs.cpp checks both halves.
+///   - Wall-clock never enters the registry or journal; it exists only in
+///     the Chrome-trace host view (TaskObs::wall_*).
+struct CampaignObs {
+  obs::Registry metrics;           ///< merged registry (incl. api.* export)
+  obs::ApiMetrics api;             ///< merged per-function sink
+  std::vector<TaskObsSlot> tasks;  ///< slot order: cell-major, task-minor
+
+  /// Folds every task bundle into `metrics`/`api` in slot order, exports the
+  /// api.* counters/histograms, and derives the kernel churn counters
+  /// (heap allocs/frees, handles opened/closed) from the per-function API
+  /// counts. Call exactly once, after all tasks have finished.
+  void merge_tasks();
+};
 
 /// Table 4 result for one cell.
 struct IntrusivenessCell {
@@ -95,6 +141,10 @@ class CampaignRunner {
 
   const RunnerOptions& options() const noexcept { return opt_; }
 
+  /// Merged observability of the last run_campaign(); null unless
+  /// options().obs was set.
+  const CampaignObs* campaign_obs() const noexcept { return obs_.get(); }
+
  private:
   void scan_faultloads();
   const swfit::Faultload& faultload_for(os::OsVersion v) const;
@@ -104,6 +154,7 @@ class CampaignRunner {
 
   RunnerOptions opt_;
   std::vector<std::pair<os::OsVersion, swfit::Faultload>> faultloads_;
+  std::unique_ptr<CampaignObs> obs_;
 };
 
 }  // namespace gf::depbench

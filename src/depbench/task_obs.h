@@ -1,0 +1,26 @@
+// Per-task observability bundle.
+//
+// Each campaign shard task owns one TaskObs — its private metrics registry,
+// OS-API sink and event journal — so the hot path never synchronizes. The
+// runner merges the per-task bundles at the campaign join in slot order,
+// which (together with the canonical renderings in src/obs) makes the merged
+// artifacts byte-identical for any --jobs.
+#pragma once
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace gf::depbench {
+
+struct TaskObs {
+  obs::Registry metrics;
+  obs::ApiMetrics api;
+  obs::Journal journal;
+  /// Host wall-clock task bounds relative to campaign start, stamped by the
+  /// runner (Chrome trace host view only — never merged into the
+  /// deterministic artifacts).
+  double wall_start_us = 0;
+  double wall_end_us = 0;
+};
+
+}  // namespace gf::depbench

@@ -1,0 +1,69 @@
+#include "obs/chrome_trace.h"
+
+#include "obs/journal.h"
+#include "obs/json.h"
+
+namespace gf::obs {
+namespace {
+
+constexpr std::uint32_t kHostPid = 1;
+constexpr std::uint32_t kVirtualPid = 2;
+
+void append_meta(std::string& out, std::uint32_t pid, std::uint32_t tid,
+                 const char* kind, const std::string& name) {
+  out += "{\"ph\": \"M\", \"pid\": " + std::to_string(pid) +
+         ", \"tid\": " + std::to_string(tid) + ", \"name\": \"" + kind +
+         "\", \"args\": {\"name\": \"" + json::escape(name) + "\"}},\n";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TaskTrack>& tracks) {
+  std::string out = "{\"traceEvents\": [\n";
+  append_meta(out, kHostPid, 0, "process_name", "host wall-clock");
+  append_meta(out, kVirtualPid, 0, "process_name", "vm virtual time");
+  for (const auto& t : tracks) {
+    const std::string track_name = t.cell + "/" + t.label;
+    append_meta(out, kHostPid, t.tid, "thread_name", track_name);
+    if (t.journal != nullptr) {
+      append_meta(out, kVirtualPid, t.tid, "thread_name", track_name);
+    }
+  }
+  // Host view: one complete event per task on wall-clock time.
+  for (const auto& t : tracks) {
+    const double dur = t.wall_end_us > t.wall_start_us
+                           ? t.wall_end_us - t.wall_start_us
+                           : 0;
+    out += "{\"ph\": \"X\", \"pid\": " + std::to_string(kHostPid) +
+           ", \"tid\": " + std::to_string(t.tid) +
+           ", \"ts\": " + json::number(t.wall_start_us) +
+           ", \"dur\": " + json::number(dur) + ", \"name\": \"" +
+           json::escape(t.cell + "/" + t.label) + "\", \"cat\": \"task\"},\n";
+  }
+  // Virtual view: each journal replayed on the simulated clock. Journals are
+  // already in chronological order, so per-track timestamps stay monotone.
+  for (const auto& t : tracks) {
+    if (t.journal == nullptr) continue;
+    for (const auto& e : t.journal->events()) {
+      out += "{\"ph\": \"";
+      out += phase_letter(e.phase);
+      out += "\", \"pid\": " + std::to_string(kVirtualPid) +
+             ", \"tid\": " + std::to_string(t.tid) +
+             ", \"ts\": " + json::number(e.sim_ms * 1000.0) + ", \"name\": \"" +
+             json::escape(e.name) + "\", \"cat\": \"slot\"";
+      if (e.phase == Phase::kInstant) out += ", \"s\": \"t\"";
+      if (!e.args.empty()) {
+        out += ", \"args\": " + e.args;
+      }
+      out += "},\n";
+    }
+  }
+  // Strip the trailing ",\n" left by the last event.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace gf::obs

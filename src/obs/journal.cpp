@@ -1,0 +1,51 @@
+#include "obs/journal.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace gf::obs {
+
+char phase_letter(Phase p) noexcept {
+  switch (p) {
+    case Phase::kInstant: return 'i';
+    case Phase::kBegin: return 'B';
+    case Phase::kEnd: return 'E';
+  }
+  return '?';
+}
+
+void Journal::push(Event e) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[next_] = std::move(e);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<Event> Journal::events() const {
+  std::vector<Event> out;
+  out.reserve(size());
+  // Before wrap the ring is in append order; after, next_ points at the
+  // oldest surviving entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void write_jsonl(std::ostream& os, const std::string& track, const Journal& j) {
+  std::uint64_t seq = j.dropped();  // dropped events leave a visible gap
+  for (const auto& e : j.events()) {
+    os << "{\"track\": \"" << json::escape(track) << "\", \"seq\": " << seq++
+       << ", \"ph\": \"" << phase_letter(e.phase) << "\", \"name\": \""
+       << json::escape(e.name) << "\", \"ms\": " << json::number(e.sim_ms)
+       << ", \"cycle\": " << e.cycle;
+    if (!e.args.empty()) os << ", \"args\": " << e.args;
+    os << "}\n";
+  }
+}
+
+}  // namespace gf::obs

@@ -1,0 +1,51 @@
+// Minimal strict JSON parser + writer helpers for the observability layer.
+//
+// Every machine-readable artifact this repo emits (metrics registries,
+// campaign manifests, Chrome trace files, JSONL journals) is validated by
+// round-tripping through this parser — in tests/test_obs.cpp, and from the
+// command line via tools/json_check. The parser builds a small DOM; it is
+// not meant for large documents or hot paths.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gf::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  /// Key order is preserved (canonical emitters sort their keys, and tests
+  /// check that ordering survives the round trip).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  bool is_number() const noexcept { return type == Type::kNumber; }
+  bool is_string() const noexcept { return type == Type::kString; }
+
+  /// First member with `key`, or nullptr (objects only).
+  const Value* find(std::string_view key) const noexcept;
+};
+
+/// Parses one complete JSON document (trailing garbage is an error). On
+/// failure returns nullopt and, when `error` is given, a one-line message
+/// with the byte offset of the problem.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+/// Escapes `s` for embedding between double quotes in JSON output.
+std::string escape(std::string_view s);
+
+/// Canonical double formatting for deterministic artifacts: shortest form
+/// via %.10g, with NaN/Inf (invalid JSON) clamped to 0.
+std::string number(double v);
+
+}  // namespace gf::obs::json

@@ -1,0 +1,70 @@
+#include "obs/progress.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace gf::obs {
+
+ProgressReporter::ProgressReporter(double min_interval_s)
+    : min_interval_s_(min_interval_s > 0 ? min_interval_s : 0.1) {
+  start_s_ = now_s();
+}
+
+double ProgressReporter::now_s() const noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ProgressReporter::set_total(std::uint64_t total_faults) noexcept {
+  total_.store(total_faults, std::memory_order_relaxed);
+}
+
+void ProgressReporter::add_faults(std::uint64_t n) noexcept {
+  const std::uint64_t done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+  const double elapsed = now_s() - start_s_;
+  const auto stamp = static_cast<std::uint64_t>(elapsed * 1000.0);
+  std::uint64_t last = last_print_ms_.load(std::memory_order_relaxed);
+  if (static_cast<double>(stamp - last) < min_interval_s_ * 1000.0) return;
+  // One winner per interval: losers see the refreshed stamp and bail.
+  if (!last_print_ms_.compare_exchange_strong(last, stamp,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  report(done, elapsed);
+}
+
+void ProgressReporter::report(std::uint64_t done, double elapsed_s) noexcept {
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  const double rate = elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0;
+  if (total > 0 && rate > 0 && done <= total) {
+    const double eta = static_cast<double>(total - done) / rate;
+    std::fprintf(stderr,
+                 "[progress] %llu/%llu faults (%.1f%%)  %.1f faults/s  "
+                 "eta %.0fs\n",
+                 static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(total),
+                 100.0 * static_cast<double>(done) / static_cast<double>(total),
+                 rate, eta);
+  } else {
+    std::fprintf(stderr, "[progress] %llu faults  %.1f faults/s\n",
+                 static_cast<unsigned long long>(done), rate);
+  }
+}
+
+void ProgressReporter::cell_done(const std::string& cell, std::size_t done,
+                                 std::size_t total) noexcept {
+  std::fprintf(stderr, "[progress] cell %s done (%zu/%zu cells)\n",
+               cell.c_str(), done, total);
+}
+
+void ProgressReporter::finish() noexcept {
+  const double elapsed = now_s() - start_s_;
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  std::fprintf(stderr, "[progress] complete: %llu faults in %.1fs (%.1f/s)\n",
+               static_cast<unsigned long long>(done), elapsed,
+               elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0);
+}
+
+}  // namespace gf::obs

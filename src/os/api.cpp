@@ -17,6 +17,9 @@ ApiResult OsApi::call(const std::string& name,
   out.value = r.ret;
   out.trap = r.trap;
   out.cycles = r.cycles;
+  if (metrics_) {
+    metrics_->record(name, r.cycles, out.ok(), out.crashed(), out.hung());
+  }
   if (post_hook_) post_hook_(name, out);
   return out;
 }

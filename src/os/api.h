@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "os/kernel.h"
 
 namespace gf::os {
@@ -104,6 +105,13 @@ class OsApi {
   using PostCallHook = std::function<void(const std::string&, const ApiResult&)>;
   void set_post_call_hook(PostCallHook hook) { post_hook_ = std::move(hook); }
 
+  /// Attaches a per-function metrics sink (call counts + cycle-latency
+  /// histograms, the observability counterpart of the Table 2 profile).
+  /// Detached (nullptr, the default) this is one never-taken branch per API
+  /// call — each of which executes thousands of VM cycles.
+  void set_metrics(obs::ApiMetrics* metrics) noexcept { metrics_ = metrics; }
+  obs::ApiMetrics* metrics() const noexcept { return metrics_; }
+
   std::uint64_t cycle_budget() const noexcept { return cycle_budget_; }
   void set_cycle_budget(std::uint64_t b) noexcept { cycle_budget_ = b; }
 
@@ -120,6 +128,7 @@ class OsApi {
   PostCallHook post_hook_;
   std::uint64_t total_cycles_ = 0;
   std::uint64_t call_count_ = 0;
+  obs::ApiMetrics* metrics_ = nullptr;
 };
 
 }  // namespace gf::os

@@ -87,10 +87,14 @@ KernelSnapshot Kernel::snapshot() {
   return s;
 }
 
-void Kernel::sync_code() { machine_->reload_code(active_); }
+void Kernel::sync_code() {
+  ++counters_.code_syncs;
+  machine_->reload_code(active_);
+}
 
 void Kernel::sync_code(std::uint64_t addr, std::uint64_t len) {
   if (len == 0) return;
+  ++counters_.code_syncs;
   if (addr < active_.base() || addr + len > active_.end()) {
     sync_code();  // out-of-image window: fall back to the full copy
     return;
@@ -107,6 +111,7 @@ std::uint64_t Kernel::api_addr(const std::string& name) const {
 }
 
 void Kernel::reboot() {
+  ++counters_.reboots;
   if (warm_reboot_ && boot_ != nullptr && boot_code_intact()) {
     replay_boot();
     return;
@@ -115,6 +120,7 @@ void Kernel::reboot() {
 }
 
 void Kernel::cold_boot() {
+  ++counters_.cold_boots;
   // Zero the kernel data region (heap control, handle table, page table).
   const std::vector<std::uint8_t> zeros(
       static_cast<std::size_t>(lay::kScratch - lay::kHeapCtl), 0);
@@ -173,6 +179,7 @@ bool Kernel::boot_code_intact() const noexcept {
 }
 
 void Kernel::replay_boot() {
+  ++counters_.replay_boots;
   // Zero only region pages dirtied since the last reboot (the cold path
   // memsets all 192 KiB every time), then clear their dirty bits so the
   // *next* replay only touches what the coming slot actually writes.
@@ -192,6 +199,7 @@ void Kernel::replay_boot() {
 }
 
 vm::Trap Kernel::handle_syscall(vm::Machine& m, std::int32_t num) {
+  ++counters_.syscalls;
   auto arg = [&m](int i) { return m.reg(isa::kRegArg0 + i); };
   switch (num) {
     case lay::kSysDiskFind: {

@@ -56,6 +56,17 @@ struct KernelSnapshot {
   std::uint64_t ticks = 0;
 };
 
+/// Lifetime kernel activity tallies, bumped outside any hot path (reboots,
+/// syscalls and code syncs are all µs-scale operations) and harvested as
+/// deltas by the campaign controller at run boundaries.
+struct KernelCounters {
+  std::uint64_t reboots = 0;
+  std::uint64_t cold_boots = 0;    ///< full boots (incl. the constructor's)
+  std::uint64_t replay_boots = 0;  ///< O(dirty) recorded-boot replays
+  std::uint64_t syscalls = 0;      ///< SYS instructions dispatched
+  std::uint64_t code_syncs = 0;    ///< sync_code invocations (full + ranged)
+};
+
 class Kernel {
  public:
   explicit Kernel(OsVersion version);
@@ -111,6 +122,10 @@ class Kernel {
   /// Monotonic tick counter (SYS_TICK).
   std::uint64_t ticks() const noexcept { return tick_; }
 
+  /// Lifetime activity counters (not part of snapshots — they describe the
+  /// kernel's history, and consumers read deltas).
+  const KernelCounters& counters() const noexcept { return counters_; }
+
  private:
   vm::Trap handle_syscall(vm::Machine& m, std::int32_t num);
   void install_machine_hooks();
@@ -130,6 +145,7 @@ class Kernel {
   std::shared_ptr<const BootReplay> boot_;  ///< set by the first cold boot
   bool warm_reboot_ = true;
   std::uint64_t tick_ = 0;
+  KernelCounters counters_;
 };
 
 }  // namespace gf::os

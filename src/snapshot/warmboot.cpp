@@ -29,6 +29,7 @@ std::shared_ptr<const WarmSnapshot> capture_warm_boot(
   snap->server = server->save_process();
   snap->server_name = server_name;
   snap->fileset = fileset;
+  snap->capture_cycles = kernel.machine().total_cycles();
   return snap;
 }
 

@@ -36,6 +36,10 @@ struct WarmSnapshot {
   web::ProcessImage server;
   std::string server_name;
   spec::FilesetConfig fileset;
+  /// Guest cycles the captured bring-up consumed (boot + server start) —
+  /// what every warm task *avoids* re-executing; exported as the
+  /// snapshot.bringup_cycles gauge.
+  std::uint64_t capture_cycles = 0;
 };
 
 /// Builds one cold SUB cell (kernel of `version`, populated file set,

@@ -62,7 +62,11 @@ bool remove_fault(isa::Image& img, const FaultLocation& fault) {
 
 bool Injector::inject(const FaultLocation& fault) {
   restore();
-  if (!apply_fault(kernel_.active_image(), fault)) return false;
+  ++verifies_;
+  if (!apply_fault(kernel_.active_image(), fault)) {
+    ++verify_failures_;
+    return false;
+  }
   kernel_.sync_code(fault.addr, fault.window() * isa::kInstrSize);
   active_ = fault;
   ++injections_;
@@ -74,11 +78,14 @@ void Injector::restore() {
   // remove_fault can only fail if someone else patched the window while the
   // fault was active, which would be a harness bug; restore the original
   // bytes unconditionally in that case as well.
+  ++verifies_;
   if (!remove_fault(kernel_.active_image(), *active_)) {
+    ++verify_failures_;
     patch_window(kernel_.active_image(), active_->addr, active_->original);
   }
   kernel_.sync_code(active_->addr, active_->window() * isa::kInstrSize);
   active_.reset();
+  ++restores_;
 }
 
 }  // namespace gf::swfit

@@ -44,11 +44,22 @@ class Injector {
 
   /// Number of inject operations performed (telemetry).
   std::uint64_t injections() const noexcept { return injections_; }
+  /// Number of restore operations that actually removed an active fault.
+  std::uint64_t restores() const noexcept { return restores_; }
+  /// Window byte-verifications performed (two per successful swap: one
+  /// before patching, one before restoring).
+  std::uint64_t verifies() const noexcept { return verifies_; }
+  /// Verifications that found unexpected bytes (stale faultload on inject,
+  /// clobbered window on restore).
+  std::uint64_t verify_failures() const noexcept { return verify_failures_; }
 
  private:
   os::Kernel& kernel_;
   std::optional<FaultLocation> active_;
   std::uint64_t injections_ = 0;
+  std::uint64_t restores_ = 0;
+  std::uint64_t verifies_ = 0;
+  std::uint64_t verify_failures_ = 0;
 };
 
 }  // namespace gf::swfit

@@ -173,4 +173,21 @@ std::string activation_summary_json(const ActivationStats& stats) {
   return out.str();
 }
 
+void export_metrics(const std::vector<ActivationRecord>& records,
+                    obs::Registry& r) {
+  for (const auto& rec : records) {
+    r.add("trace.records");
+    switch (rec.outcome) {
+      case Outcome::kNotActivated: break;
+      case Outcome::kActivatedBenign: r.add("trace.benign"); break;
+      case Outcome::kLatentStateCorruption: r.add("trace.latent"); break;
+      case Outcome::kExternalFailure: r.add("trace.external"); break;
+    }
+    if (rec.activated()) {
+      r.add("trace.activated");
+      r.observe("trace.window_hits", rec.hits);
+    }
+  }
+}
+
 }  // namespace gf::trace

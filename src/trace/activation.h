@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "swfit/fault_types.h"
 #include "vm/machine.h"
 
@@ -96,5 +97,12 @@ void write_jsonl(std::ostream& os, const std::string& context,
 /// Compact machine-readable summary (activation rate per fault type plus the
 /// overall rate) for the perf/quality trajectory (BENCH_activation.json).
 std::string activation_summary_json(const ActivationStats& stats);
+
+/// Folds record tallies into an obs registry: trace.records / activated /
+/// benign / latent / external counters plus a trace.window_hits histogram
+/// (how often each activated fault's window was entered). Fault-indexed and
+/// outcome-derived only, so the export is shard-invariant like the records.
+void export_metrics(const std::vector<ActivationRecord>& records,
+                    obs::Registry& r);
 
 }  // namespace gf::trace

@@ -386,8 +386,15 @@ RunResult Machine::run(std::uint64_t pc, std::uint64_t cycle_budget) {
 
 RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
   std::uint64_t cycles = 0;
+  std::uint64_t steps = 0;
+  // Single exit: every termination path funnels through here so the
+  // lifetime counters and dispatch stats are folded in exactly once per run
+  // (the loop itself only touches the two local accumulators).
   auto stop = [&](Trap t) {
     total_cycles_ += cycles;
+    stats_.instructions += steps;
+    ++stats_.runs;
+    ++stats_.traps[static_cast<std::size_t>(t)];
     return RunResult{t, cycles, pc, 0};
   };
 
@@ -434,6 +441,7 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
       if (!isa::decode_into(mem_.data() + pc, in)) return stop(Trap::kBadOpcode);
     }
 
+    ++steps;
     std::uint64_t next = pc + kInstrSize;
     std::uint64_t cost = 1;
 
@@ -445,8 +453,7 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
         break;
       case Op::kHalt:
         ++cycles;
-        total_cycles_ += cycles;
-        return RunResult{Trap::kHalt, cycles, pc, 0};
+        return stop(Trap::kHalt);
       case Op::kMovI:
         R[in.rd] = imm;
         break;
@@ -542,8 +549,7 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
         R[isa::kRegSp] = static_cast<std::int64_t>(sp + 8);
         if (ra == kReturnSentinel) {
           ++cycles;
-          total_cycles_ += cycles;
-          return RunResult{Trap::kHalt, cycles, pc, 0};
+          return stop(Trap::kHalt);
         }
         next = ra;
         cost = 2;
@@ -573,8 +579,7 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
         const Trap t = syscall_(*this, in.imm);
         if (t != Trap::kNone) {
           cycles += 20;
-          total_cycles_ += cycles;
-          return RunResult{t, cycles, pc, 0};
+          return stop(t);
         }
         cost = 20;
         break;

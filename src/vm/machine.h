@@ -36,6 +36,22 @@ enum class Trap : std::uint8_t {
 
 const char* trap_name(Trap t) noexcept;
 
+constexpr std::size_t kNumTraps = 8;  ///< one past Trap::kStackFault
+
+/// Lifetime dispatch tallies, folded in once per run at the execute() exit
+/// (never touched inside the dispatch loop — the loop keeps a local step
+/// counter in a register). The campaign controller harvests deltas of these
+/// at run boundaries into the obs registry.
+struct DispatchStats {
+  std::uint64_t instructions = 0;  ///< instructions retired (incl. the trap op)
+  std::uint64_t runs = 0;          ///< execute() invocations
+  std::array<std::uint64_t, kNumTraps> traps{};  ///< indexed by Trap value
+
+  std::uint64_t trap_count(Trap t) const noexcept {
+    return traps[static_cast<std::size_t>(t)];
+  }
+};
+
 /// Outcome of one run/call.
 struct RunResult {
   Trap trap = Trap::kNone;
@@ -220,6 +236,12 @@ class Machine {
   /// Total cycles consumed over the machine's lifetime.
   std::uint64_t total_cycles() const noexcept { return total_cycles_; }
 
+  /// Lifetime dispatch statistics. Deliberately *not* part of State: a
+  /// restore rolls back the simulated machine, but the work spent executing
+  /// still happened — consumers read deltas across run boundaries.
+  const DispatchStats& dispatch_stats() const noexcept { return stats_; }
+  void reset_dispatch_stats() noexcept { stats_ = {}; }
+
   /// Optional per-instruction coverage recording (for fault-activation
   /// measurements): when enabled, executed_pcs() reports distinct executed
   /// instruction addresses within loaded code.
@@ -302,6 +324,7 @@ class Machine {
   std::uint64_t stack_lo_ = 0, stack_hi_ = 0;
   SyscallHandler syscall_;
   std::uint64_t total_cycles_ = 0;
+  DispatchStats stats_;
 
   bool coverage_ = false;
   std::vector<std::uint64_t> executed_;

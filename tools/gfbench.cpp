@@ -17,6 +17,7 @@
 #include <sstream>
 #include <string>
 
+#include "depbench/campaign_report.h"
 #include "depbench/report.h"
 #include "depbench/tuner.h"
 #include "isa/disassembler.h"
@@ -34,6 +35,8 @@ using namespace gf;
                "  profile  --os 2000|xp [--servers apex,abyssal,...]\n"
                "  campaign --os 2000|xp --server NAME [--faultload FILE]\n"
                "           [--stride K] [--scale S] [--iterations N] [--seed S]\n"
+               "           [--metrics-json FILE] [--html-report FILE]\n"
+               "           [--journal-out FILE] [--chrome-trace FILE]\n"
                "  show     --faultload FILE [--limit N]\n");
   std::exit(2);
 }
@@ -161,12 +164,39 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
                         ? std::stoull(flags.at("seed"))
                         : std::uint64_t{1000};
 
-  depbench::Controller ctl(version, server, cfg);
+  // Observability artifacts: one TaskObs bundle per run (baseline +
+  // iterations), merged exactly like the campaign runner's slot join.
+  const bool want_obs = flags.count("metrics-json") ||
+                        flags.count("html-report") ||
+                        flags.count("journal-out") ||
+                        flags.count("chrome-trace");
+  depbench::CampaignObs cobs;
+  if (want_obs) {
+    cobs.tasks.resize(1 + static_cast<std::size_t>(std::max(0, iterations)));
+    const std::string cell_name =
+        std::string(os::os_version_name(version)) + "/" + server;
+    for (std::size_t t = 0; t < cobs.tasks.size(); ++t) {
+      cobs.tasks[t].cell = cell_name;
+      cobs.tasks[t].label =
+          t == 0 ? "baseline" : "iter" + std::to_string(t - 1) + ".shard0";
+    }
+  }
+  auto run_cfg = [&](std::size_t task) {
+    auto c = cfg;
+    if (want_obs) c.obs = &cobs.tasks[task].obs;
+    return c;
+  };
+
   depbench::ExperimentCell cell;
   cell.os_name = os::os_version_name(version);
   cell.server_name = server;
-  cell.baseline = ctl.run_profile_mode(fl, 120000, 1);
+  {
+    depbench::Controller ctl(version, server, run_cfg(0));
+    cell.baseline = ctl.run_profile_mode(fl, 120000, 1);
+  }
   for (int i = 0; i < iterations; ++i) {
+    depbench::Controller ctl(version, server,
+                             run_cfg(static_cast<std::size_t>(i) + 1));
     cell.iterations.push_back(
         ctl.run_iteration(fl, seed + static_cast<std::uint64_t>(i)));
   }
@@ -175,6 +205,40 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
   std::printf("SPC retention %.0f%%, THR retention %.0f%%, ER%%f %.1f, "
               "ADMf %.1f\n",
               100 * d.spc_rel, 100 * d.thr_rel, d.erf_pct, d.admf);
+
+  if (want_obs) {
+    cobs.merge_tasks();
+    depbench::RunnerOptions ropt;
+    ropt.versions = {version};
+    ropt.servers = {server};
+    ropt.iterations = iterations;
+    ropt.stride = cfg.fault_stride;
+    ropt.shards = 1;
+    ropt.time_scale = cfg.time_scale;
+    ropt.seed = seed;
+    ropt.warm_boot = false;
+    ropt.trace = cfg.trace;
+    auto emit = [&](const char* flag, const std::string& content) {
+      if (!flags.count(flag)) return true;
+      std::ofstream out(flags.at(flag));
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", flags.at(flag).c_str());
+        return false;
+      }
+      out << content;
+      std::printf("wrote %s\n", flags.at(flag).c_str());
+      return true;
+    };
+    std::ostringstream journal;
+    depbench::write_campaign_journal(journal, cobs);
+    if (!emit("metrics-json", cobs.metrics.to_json()) ||
+        !emit("html-report",
+              depbench::campaign_html_report({cell}, ropt, &cobs)) ||
+        !emit("journal-out", journal.str()) ||
+        !emit("chrome-trace", depbench::campaign_chrome_trace(cobs))) {
+      return 1;
+    }
+  }
   return 0;
 }
 

@@ -1,0 +1,232 @@
+// json_check — tiny JSON validator for the bench/CI artifact pipeline.
+//
+//   json_check FILE...                    strict syntax check
+//   json_check --jsonl FILE...            one JSON object per line
+//   json_check --schema metrics FILE      obs registry shape
+//   json_check --schema chrome FILE       Chrome trace-event shape
+//   json_check --schema manifest FILE     genfault-campaign manifest shape
+//
+// Exit 0 when every file validates; prints the first problem per file and
+// exits 1 otherwise. run_benches.sh and the CI workflow pipe every emitted
+// artifact through this, so a malformed emitter fails loudly instead of
+// producing quietly-broken dashboards.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using gf::obs::json::Value;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: json_check [--jsonl] [--schema metrics|chrome|manifest] "
+               "FILE...\n");
+  std::exit(2);
+}
+
+bool fail(const std::string& file, const std::string& why) {
+  std::fprintf(stderr, "json_check: %s: %s\n", file.c_str(), why.c_str());
+  return false;
+}
+
+bool is_object(const Value* v) {
+  return v != nullptr && v->type == Value::Type::kObject;
+}
+bool is_array(const Value* v) {
+  return v != nullptr && v->type == Value::Type::kArray;
+}
+bool is_number(const Value* v) {
+  return v != nullptr && v->type == Value::Type::kNumber;
+}
+bool is_string(const Value* v) {
+  return v != nullptr && v->type == Value::Type::kString;
+}
+
+/// {"counters": {name: int...}, "gauges": {...}, "histograms":
+///  {name: {count, sum, min, max, buckets[]}}}
+bool check_metrics(const std::string& file, const Value& root) {
+  if (root.type != Value::Type::kObject) return fail(file, "root not object");
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    if (!is_object(root.find(key))) {
+      return fail(file, std::string("missing object field: ") + key);
+    }
+  }
+  for (const auto& [name, v] : root.find("counters")->object) {
+    if (v.type != Value::Type::kNumber) {
+      return fail(file, "counter not a number: " + name);
+    }
+  }
+  for (const auto& [name, h] : root.find("histograms")->object) {
+    if (h.type != Value::Type::kObject) {
+      return fail(file, "histogram not an object: " + name);
+    }
+    for (const char* key : {"count", "sum", "min", "max"}) {
+      if (!is_number(h.find(key))) {
+        return fail(file, "histogram " + name + " missing " + key);
+      }
+    }
+    if (!is_array(h.find("buckets"))) {
+      return fail(file, "histogram " + name + " missing buckets[]");
+    }
+  }
+  return true;
+}
+
+/// {"traceEvents": [{"ph", "pid", "tid", "name", ...}...]} with matched B/E
+/// nesting and monotone timestamps per (pid, tid) track.
+bool check_chrome(const std::string& file, const Value& root) {
+  if (root.type != Value::Type::kObject) return fail(file, "root not object");
+  const auto* events = root.find("traceEvents");
+  if (!is_array(events)) return fail(file, "missing traceEvents[]");
+  // Track state keyed by "pid/tid": open B depth and last timestamp.
+  std::vector<std::pair<std::string, std::pair<long, double>>> tracks;
+  auto track = [&](const std::string& key)
+      -> std::pair<long, double>& {
+    for (auto& [k, st] : tracks) {
+      if (k == key) return st;
+    }
+    tracks.emplace_back(key, std::make_pair(0L, -1e300));
+    return tracks.back().second;
+  };
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const auto& e = events->array[i];
+    const auto at = "traceEvents[" + std::to_string(i) + "]";
+    if (e.type != Value::Type::kObject) return fail(file, at + " not object");
+    const auto* ph = e.find("ph");
+    if (!is_string(ph)) return fail(file, at + " missing ph");
+    if (!is_string(e.find("name"))) return fail(file, at + " missing name");
+    if (!is_number(e.find("pid")) || !is_number(e.find("tid"))) {
+      return fail(file, at + " missing pid/tid");
+    }
+    if (ph->string == "M") continue;  // metadata carries no timestamp
+    const auto* ts = e.find("ts");
+    if (!is_number(ts)) return fail(file, at + " missing ts");
+    const auto key = std::to_string(e.find("pid")->number) + "/" +
+                     std::to_string(e.find("tid")->number);
+    auto& [depth, last_ts] = track(key);
+    if (ts->number < last_ts) {
+      return fail(file, at + " timestamp not monotone on track " + key);
+    }
+    last_ts = ts->number;
+    if (ph->string == "B") ++depth;
+    if (ph->string == "E") {
+      if (depth <= 0) return fail(file, at + " unmatched E on track " + key);
+      --depth;
+    }
+    if (ph->string == "X" && !is_number(e.find("dur"))) {
+      return fail(file, at + " X event missing dur");
+    }
+  }
+  for (const auto& [key, st] : tracks) {
+    if (st.first != 0) {
+      return fail(file, "unclosed B span(s) on track " + key);
+    }
+  }
+  return true;
+}
+
+/// {"schema": "genfault-campaign/1", "options": {...}, "cells": [...],
+///  "metrics": {...}|null}
+bool check_manifest(const std::string& file, const Value& root) {
+  if (root.type != Value::Type::kObject) return fail(file, "root not object");
+  const auto* schema = root.find("schema");
+  if (!is_string(schema) || schema->string != "genfault-campaign/1") {
+    return fail(file, "schema is not genfault-campaign/1");
+  }
+  if (!is_object(root.find("options"))) return fail(file, "missing options{}");
+  const auto* cells = root.find("cells");
+  if (!is_array(cells)) return fail(file, "missing cells[]");
+  for (std::size_t i = 0; i < cells->array.size(); ++i) {
+    const auto& cell = cells->array[i];
+    const auto at = "cells[" + std::to_string(i) + "]";
+    if (cell.type != Value::Type::kObject) return fail(file, at + " not object");
+    if (!is_string(cell.find("os")) || !is_string(cell.find("server"))) {
+      return fail(file, at + " missing os/server");
+    }
+    if (!is_object(cell.find("baseline"))) {
+      return fail(file, at + " missing baseline{}");
+    }
+    if (!is_array(cell.find("iterations"))) {
+      return fail(file, at + " missing iterations[]");
+    }
+    if (!is_object(cell.find("derived"))) {
+      return fail(file, at + " missing derived{}");
+    }
+  }
+  const auto* metrics = root.find("metrics");
+  if (metrics == nullptr) return fail(file, "missing metrics");
+  if (metrics->type != Value::Type::kNull && !check_metrics(file, *metrics)) {
+    return false;
+  }
+  return true;
+}
+
+bool check_file(const std::string& file, const std::string& schema,
+                bool jsonl) {
+  std::ifstream f(file);
+  if (!f) return fail(file, "cannot open");
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+
+  if (jsonl) {
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) {
+      ++n;
+      if (line.empty()) continue;
+      std::string err;
+      const auto v = gf::obs::json::parse(line, &err);
+      if (!v) return fail(file, "line " + std::to_string(n) + ": " + err);
+      if (v->type != Value::Type::kObject) {
+        return fail(file, "line " + std::to_string(n) + ": not an object");
+      }
+    }
+    return true;
+  }
+
+  std::string err;
+  const auto v = gf::obs::json::parse(text, &err);
+  if (!v) return fail(file, err);
+  if (schema == "metrics") return check_metrics(file, *v);
+  if (schema == "chrome") return check_chrome(file, *v);
+  if (schema == "manifest") return check_manifest(file, *v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema;
+  bool jsonl = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jsonl") == 0) {
+      jsonl = true;
+    } else if (std::strcmp(argv[i], "--schema") == 0) {
+      if (i + 1 >= argc) usage();
+      schema = argv[++i];
+      if (schema != "metrics" && schema != "chrome" && schema != "manifest") {
+        usage();
+      }
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      usage();
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) usage();
+  bool ok = true;
+  for (const auto& file : files) ok = check_file(file, schema, jsonl) && ok;
+  if (ok && files.size() > 1) {
+    std::printf("json_check: %zu files ok\n", files.size());
+  }
+  return ok ? 0 : 1;
+}

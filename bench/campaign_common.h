@@ -26,7 +26,13 @@ struct CampaignOptions {
   int stride = 6;           ///< inject every k-th fault of the faultload
   int iterations = 3;       ///< SPECWeb rule: at least three runs
   int jobs = 0;             ///< worker threads; 0 = hardware_concurrency
-  int shards = 1;           ///< fault-index shards per iteration
+  /// Deprecated: --shards S now aliases onto chunked decomposition (S equal
+  /// fault chunks per iteration). Kept for script compatibility; results
+  /// are identical for any value.
+  int shards = 1;
+  int chunk = 0;            ///< fault positions per chunk; 0 = adaptive
+  bool steal = true;        ///< work stealing; off = static partition (A/B)
+  std::string sched_json;   ///< scheduler telemetry JSON (genfault-sched/1)
   std::uint64_t seed = 1;   ///< campaign seed (per-task seeds are derived)
   double baseline_ms = 120000;      ///< profile-mode baseline window
   bool activation_report = false;   ///< print the per-type x function report
@@ -72,6 +78,15 @@ inline CampaignOptions parse_options(int argc, char** argv) {
       opt.jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       opt.shards = std::atoi(argv[++i]);
+      std::fprintf(stderr,
+                   "[campaign] note: --shards is deprecated; it now maps "
+                   "onto chunked decomposition (use --chunk)\n");
+    } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+      opt.chunk = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-steal") == 0) {
+      opt.steal = false;
+    } else if (std::strcmp(argv[i], "--sched-json") == 0 && i + 1 < argc) {
+      opt.sched_json = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--baseline-ms") == 0 && i + 1 < argc) {
@@ -97,12 +112,13 @@ inline CampaignOptions parse_options(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick|--full] [--scale S] [--stride K] "
-                   "[--iterations N] [--jobs J] [--shards S] [--seed X] "
+                   "[--iterations N] [--jobs J] [--chunk N] [--no-steal] "
+                   "[--shards S (deprecated)] [--seed X] "
                    "[--baseline-ms MS] [--activation-report] "
                    "[--trace-out FILE.jsonl] [--activation-json FILE.json] "
                    "[--cold-boot] [--progress] [--metrics-json FILE] "
                    "[--journal-out FILE.jsonl] [--chrome-trace FILE] "
-                   "[--html-report FILE]\n",
+                   "[--html-report FILE] [--sched-json FILE]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -117,6 +133,8 @@ inline depbench::RunnerOptions to_runner_options(const CampaignOptions& opt) {
   ropt.iterations = opt.iterations;
   ropt.jobs = opt.jobs;
   ropt.shards = opt.shards;
+  ropt.chunk = opt.chunk;
+  ropt.steal = opt.steal;
   ropt.seed = opt.seed;
   ropt.baseline_window_ms = opt.baseline_ms;
   ropt.trace = opt.trace();
@@ -180,9 +198,10 @@ inline std::vector<depbench::ExperimentCell> run_all_cells(
   }
   std::fprintf(stderr,
                "[campaign] 2 servers x 2 OS versions, stride %d, %d "
-               "iterations, %d shard(s), jobs=%s%s%s\n",
-               opt.stride, opt.iterations, opt.shards,
+               "iterations, jobs=%s, %s%s%s\n",
+               opt.stride, opt.iterations,
                opt.jobs > 0 ? std::to_string(opt.jobs).c_str() : "auto",
+               opt.steal ? "work stealing" : "static partition",
                opt.trace() ? ", tracing on" : "",
                opt.cold_boot ? ", cold boot" : ", warm boot");
   obs::ProgressReporter progress;
@@ -191,6 +210,16 @@ inline std::vector<depbench::ExperimentCell> run_all_cells(
   depbench::CampaignRunner runner(ropt);
   auto cells = runner.run_campaign();
   emit_obs_outputs(cells, opt, runner);
+  if (!opt.sched_json.empty() && runner.scheduler_stats() != nullptr) {
+    std::ofstream out(opt.sched_json);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.sched_json.c_str());
+      std::exit(1);
+    }
+    out << runner.scheduler_stats()->to_json();
+    std::fprintf(stderr, "[campaign] scheduler telemetry -> %s\n",
+                 opt.sched_json.c_str());
+  }
   return cells;
 }
 

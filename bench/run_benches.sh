@@ -5,7 +5,9 @@
 # summary (BENCH_activation.json), and finally measures the warm-boot
 # snapshot speedup (BENCH_snapshot.json): the micro-level cold-reboot vs
 # snapshot-restore ratio plus an end-to-end quick campaign A/B with
-# --cold-boot (results are bit-identical; only wall time differs).
+# --cold-boot (results are bit-identical; only wall time differs), and the
+# work-stealing scheduler A/B (BENCH_sched.json): chunked + stealing vs the
+# static sharder on a skewed faultload, artifacts byte-compared.
 #
 # Usage: bench/run_benches.sh [build-dir] [out.json] [extra benchmark args...]
 set -euo pipefail
@@ -15,10 +17,12 @@ OUT=${2:-BENCH_micro.json}
 ACT_OUT=${ACT_OUT:-BENCH_activation.json}
 SNAP_OUT=${SNAP_OUT:-BENCH_snapshot.json}
 OBS_OUT=${OBS_OUT:-BENCH_obs.json}
+SCHED_OUT=${SCHED_OUT:-BENCH_sched.json}
 [ $# -ge 1 ] && shift
 [ $# -ge 1 ] && shift
 
-for bin in bench/micro_substrate bench/table5_campaign tools/json_check; do
+for bin in bench/micro_substrate bench/table5_campaign bench/campaign_steal \
+           tools/json_check; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built" \
          "(cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
@@ -123,9 +127,18 @@ obs_ms=$(( $(now_ms) - t0 ))
 } > "$OBS_OUT"
 echo "obs overhead written to $OBS_OUT" >&2
 
+# Scheduler A/B (BM_CampaignSteal): the same skewed campaign through the
+# static sharder and the work-stealing chunked scheduler at 8 workers. The
+# bench exits non-zero if the two schedules' artifacts are not byte-identical,
+# and records both wall time and the host-load-independent thread-CPU
+# makespan (acceptance bar: makespan_speedup >= 1.3 on the skewed faultload).
+"$BUILD_DIR/bench/campaign_steal" --out "$SCHED_OUT" 2> /dev/null
+echo "scheduler A/B written to $SCHED_OUT" >&2
+
 # Validate every emitted JSON artifact; a malformed emitter fails the run
 # loudly here instead of producing quietly-broken dashboards downstream.
 "$BUILD_DIR/tools/json_check" "$OUT" "$ACT_OUT" "$SNAP_OUT" "$OBS_OUT"
+"$BUILD_DIR/tools/json_check" --schema sched "$SCHED_OUT"
 "$BUILD_DIR/tools/json_check" --schema manifest "$OBS_DIR/manifest.json"
 "$BUILD_DIR/tools/json_check" --schema chrome "$OBS_DIR/trace.json"
 "$BUILD_DIR/tools/json_check" --jsonl "$OBS_DIR/journal.jsonl"

@@ -41,10 +41,12 @@ std::string derived_json(const DependabilityMetrics& d) {
          ", \"thr_rel\": " + number(d.thr_rel) + "}";
 }
 
+// Only result-shaping options appear here: scheduling knobs (jobs, chunk,
+// shards, steal) deliberately do not, so the manifest stays byte-identical
+// for any worker count or chunk decomposition.
 std::string options_json(const RunnerOptions& opt) {
   return "{\"iterations\": " + std::to_string(opt.iterations) +
          ", \"stride\": " + std::to_string(opt.stride) +
-         ", \"shards\": " + std::to_string(opt.shards) +
          ", \"time_scale\": " + number(opt.time_scale) +
          ", \"baseline_window_ms\": " + number(opt.baseline_window_ms) +
          ", \"seed\": " + std::to_string(opt.seed) +
@@ -119,9 +121,10 @@ std::string campaign_html_report(const std::vector<ExperimentCell>& cells,
       ".bar{background:#4a7;display:inline-block;height:0.8em}\n"
       "</style></head><body>\n"
       "<h1>Dependability benchmark report</h1>\n";
+  // Scheduling knobs (jobs/chunk/shards) are omitted: the report must be
+  // byte-identical for any decomposition of the same campaign.
   out += "<p>iterations=" + std::to_string(opt.iterations) +
          " stride=" + std::to_string(opt.stride) +
-         " shards=" + std::to_string(opt.shards) +
          " seed=" + std::to_string(opt.seed) +
          " time_scale=" + number(opt.time_scale) + "</p>\n";
 

@@ -114,9 +114,46 @@ IterationResult merge_shards(const std::vector<IterationResult>& shards) {
   return merged;
 }
 
+IterationResult merge_fault_runs(const std::vector<IterationResult>& runs) {
+  IterationResult m;
+  if (runs.empty()) return m;
+  double succ_total = 0, rtm_weighted = 0, spc_sum = 0, cc_sum = 0;
+  for (const auto& r : runs) {
+    m.metrics.duration_ms += r.metrics.duration_ms;
+    m.metrics.ops += r.metrics.ops;
+    m.metrics.errors += r.metrics.errors;
+    m.metrics.bytes += r.metrics.bytes;
+    const auto succ = static_cast<double>(r.metrics.ops - r.metrics.errors);
+    succ_total += succ;
+    rtm_weighted += r.metrics.rtm_ms * succ;
+    spc_sum += r.metrics.spc;
+    cc_sum += r.metrics.cc_pct;
+    m.counters = merge_counters(m.counters, r.counters);
+    m.activations.insert(m.activations.end(), r.activations.begin(),
+                         r.activations.end());
+  }
+  const auto n = static_cast<double>(runs.size());
+  m.metrics.thr = m.metrics.duration_ms > 0
+                      ? succ_total / (m.metrics.duration_ms / 1000.0)
+                      : 0;
+  m.metrics.rtm_ms = succ_total > 0 ? rtm_weighted / succ_total : 0;
+  m.metrics.er_pct = m.metrics.ops > 0
+                         ? 100.0 * static_cast<double>(m.metrics.errors) /
+                               static_cast<double>(m.metrics.ops)
+                         : 0;
+  m.metrics.spc = static_cast<int>(spc_sum / n + 0.5);
+  m.metrics.cc_pct = cc_sum / n;
+  trace::sort_records(m.activations);
+  return m;
+}
+
 void CampaignRunner::scan_faultloads() {
   if (!faultloads_.empty()) return;
   for (const auto version : opt_.versions) {
+    if (opt_.faultload != nullptr) {
+      faultloads_.emplace_back(version, *opt_.faultload);
+      continue;
+    }
     os::Kernel scan_kernel(version);
     faultloads_.emplace_back(
         version, swfit::Scanner{}.scan(scan_kernel.pristine_image(),
@@ -173,128 +210,231 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
   const auto scan1 = swfit::scan_cache_stats();
 
   const auto iters = static_cast<std::size_t>(std::max(0, opt_.iterations));
-  const auto shards = static_cast<std::size_t>(std::max(1, opt_.shards));
+  const auto stride = static_cast<std::size_t>(std::max(1, opt_.stride));
   const std::size_t n_cells = opt_.versions.size() * opt_.servers.size();
-  const std::size_t tasks_per_cell = 1 + iters * shards;
+  const std::size_t jobs =
+      opt_.jobs > 0 ? static_cast<std::size_t>(opt_.jobs)
+                    : std::max(1u, std::thread::hardware_concurrency());
+
+  // --chunk wins; --shards > 1 is the deprecated equal-chunks alias, mapped
+  // onto the same decomposition (one code path, identical results).
+  int chunk_override = 0;
+  if (opt_.chunk > 0) {
+    chunk_override = opt_.chunk;
+  } else if (opt_.shards > 1) {
+    chunk_override = -opt_.shards;
+  }
+
+  // Baseline cost in the cost model's unit (one healthy exposure window).
+  // run_profile_mode takes its window length unscaled while exposures are
+  // time_scale'd, hence the scale in the denominator.
+  const double exposure_ms =
+      ControllerConfig{}.fault_exposure_ms * std::max(1e-9, opt_.time_scale);
+  const double baseline_cost =
+      std::max(0.0, opt_.baseline_window_ms) / exposure_ms;
+
+  // Per-cell schedule plan: every iteration is decomposed into single-fault
+  // positions (position p = faultload index p*stride), grouped into
+  // cost-balanced chunks. Cells of different OS versions have different
+  // faultload sizes, so slot layout is a prefix sum, not a uniform grid.
+  struct CellPlan {
+    os::OsVersion version{};
+    std::string server;
+    const swfit::Faultload* fl = nullptr;
+    std::size_t positions = 0;  ///< faults per iteration (ceil(n/stride))
+    std::size_t slot_base = 0;  ///< first obs/result slot of this cell
+    std::vector<double> pos_cost;
+    std::vector<Chunk> chunks;  ///< chunk plan for one iteration
+  };
+  const FaultCostModel cost_model{opt_.cost_profile, opt_.cost_traces};
+  std::vector<CellPlan> plan(n_cells);
+  std::size_t total_slots = 0;
+  double total_cost = 0;
+  std::uint64_t planned_faults = 0;
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    auto& cp = plan[cell];
+    cp.version = opt_.versions[cell / opt_.servers.size()];
+    cp.server = opt_.servers[cell % opt_.servers.size()];
+    cp.fl = &faultload_for(cp.version);
+    const auto n = cp.fl->faults.size();
+    cp.positions = n == 0 ? 0 : (n + stride - 1) / stride;
+    const auto fault_costs = estimate_fault_costs(*cp.fl, cost_model);
+    cp.pos_cost.resize(cp.positions);
+    for (std::size_t p = 0; p < cp.positions; ++p) {
+      cp.pos_cost[p] = fault_costs[p * stride];
+      total_cost += static_cast<double>(iters) * cp.pos_cost[p];
+    }
+    cp.chunks = plan_chunks(cp.pos_cost, jobs, chunk_override);
+    cp.slot_base = total_slots;
+    total_slots += 1 + iters * cp.positions;
+    total_cost += baseline_cost;
+    planned_faults += iters * cp.positions;
+  }
 
   // Observability slots mirror the result slots: one private bundle per
-  // (cell, task), merged in slot order after the join.
+  // fault run (plus one per baseline), merged in slot order after the join.
   obs_.reset();
   if (opt_.obs) {
     obs_ = std::make_unique<CampaignObs>();
-    obs_->tasks.resize(n_cells * tasks_per_cell);
+    obs_->tasks.resize(total_slots);
   }
   if (opt_.progress != nullptr) {
-    std::uint64_t planned = 0;
-    const auto stride = static_cast<std::size_t>(std::max(1, opt_.stride));
-    for (const auto version : opt_.versions) {
-      const auto n = faultload_for(version).faults.size();
-      planned += opt_.servers.size() * iters * ((n + stride - 1) / stride);
-    }
-    opt_.progress->set_total(planned);
+    opt_.progress->set_total(planned_faults);
+    opt_.progress->set_total_cost(total_cost);
   }
   const auto wall0 = std::chrono::steady_clock::now();
 
   // Warm-boot snapshots: one bring-up per cell (parallelized), shared
-  // read-only by every task of that cell. Each task then clones a private
-  // SUB from the snapshot in O(memory copy) instead of recompiling the OS
-  // image and re-running boot + file-set population + server start.
+  // read-only by every fault run of that cell. Each run then clones a
+  // private SUB from the snapshot in O(memory copy) instead of recompiling
+  // the OS image and re-running boot + file-set population + server start.
   std::vector<std::shared_ptr<const snapshot::WarmSnapshot>> warm(n_cells);
   if (opt_.warm_boot) {
     run_tasks(n_cells, [&](std::size_t cell) {
-      warm[cell] = snapshot::capture_warm_boot(
-          opt_.versions[cell / opt_.servers.size()],
-          opt_.servers[cell % opt_.servers.size()]);
+      warm[cell] =
+          snapshot::capture_warm_boot(plan[cell].version, plan[cell].server);
     });
   }
 
   std::vector<ExperimentCell> cells(n_cells);
-  // One slot per (cell, iteration, shard): tasks write only their own slot,
-  // which is what makes the merge independent of scheduling order.
-  std::vector<std::vector<IterationResult>> shard_results(
-      n_cells, std::vector<IterationResult>(iters * shards));
-  // Per-cell countdown so campaign progress is narrated live (one line per
-  // completed cell) even though tasks finish in scheduler order.
+  // One result slot per (cell, iteration, position): runs write only their
+  // own slot, which is what makes the merge independent of scheduling.
+  std::vector<std::vector<IterationResult>> fault_results(n_cells);
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    fault_results[cell].resize(iters * plan[cell].positions);
+  }
+  // Per-cell countdown over *work units* so campaign progress is narrated
+  // live (one line per completed cell) even under steal interleaving.
   std::vector<std::atomic<std::size_t>> remaining(n_cells);
-  for (auto& r : remaining) r.store(tasks_per_cell, std::memory_order_relaxed);
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    remaining[cell].store(1 + iters * plan[cell].chunks.size(),
+                          std::memory_order_relaxed);
+  }
   std::atomic<std::size_t> cells_done{0};
 
-  run_tasks(n_cells * tasks_per_cell, [&](std::size_t idx) {
-    const std::size_t cell = idx / tasks_per_cell;
-    const std::size_t task = idx % tasks_per_cell;
-    const auto version = opt_.versions[cell / opt_.servers.size()];
-    const auto& server = opt_.servers[cell % opt_.servers.size()];
-    const auto& fl = faultload_for(version);
-    auto cfg = cell_config(server, opt_);
+  auto wall_us = [&] {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - wall0)
+        .count();
+  };
+  auto build = [&](std::size_t cell, const ControllerConfig& c) {
+    return opt_.warm_boot
+               ? std::make_unique<Controller>(warm[cell], c)
+               : std::make_unique<Controller>(plan[cell].version,
+                                              plan[cell].server, c);
+  };
+  // The per-fault mini-run: a fresh controller, exactly one fault injected
+  // (offset = its absolute index, stride spans the whole faultload), seeded
+  // by the task id 1 + iter*positions + pos. Nothing here depends on which
+  // chunk or worker the run rides in.
+  auto run_fault = [&](std::size_t cell, std::size_t it, std::size_t pos) {
+    const auto& cp = plan[cell];
+    const std::size_t task = 1 + it * cp.positions + pos;
+    const std::size_t fault_index = pos * stride;
+    auto cfg = cell_config(cp.server, opt_);
     cfg.progress = opt_.progress;
+    cfg.fault_offset = static_cast<int>(fault_index);
+    cfg.fault_stride =
+        static_cast<int>(std::max<std::size_t>(cp.fl->faults.size(), 1));
     const auto seed = derive_seed(opt_.seed, cell, task);
-
-    TaskObsSlot* slot = obs_ ? &obs_->tasks[idx] : nullptr;
+    TaskObsSlot* slot = obs_ ? &obs_->tasks[cp.slot_base + task] : nullptr;
     if (slot != nullptr) {
-      slot->cell = std::string(os::os_version_name(version)) + "/" + server;
-      slot->label = task == 0
-                        ? "baseline"
-                        : "iter" + std::to_string((task - 1) / shards) +
-                              ".shard" + std::to_string((task - 1) % shards);
+      slot->cell =
+          std::string(os::os_version_name(cp.version)) + "/" + cp.server;
+      slot->label = "iter" + std::to_string(it) + ".f" +
+                    std::to_string(fault_index);
       cfg.obs = &slot->obs;
-      slot->obs.wall_start_us =
-          std::chrono::duration<double, std::micro>(
-              std::chrono::steady_clock::now() - wall0)
-              .count();
+      slot->obs.wall_start_us = wall_us();
     }
-
-    auto build = [&](const ControllerConfig& c) {
-      return opt_.warm_boot ? std::make_unique<Controller>(warm[cell], c)
-                            : std::make_unique<Controller>(version, server, c);
-    };
-    if (task == 0) {
-      auto ctl = build(cfg);
-      cells[cell].baseline =
-          ctl->run_profile_mode(fl, opt_.baseline_window_ms, seed);
-    } else {
-      const std::size_t shard = (task - 1) % shards;
-      cfg.fault_stride = opt_.stride * static_cast<int>(shards);
-      cfg.fault_offset = opt_.stride * static_cast<int>(shard);
-      auto ctl = build(cfg);
-      shard_results[cell][task - 1] = ctl->run_iteration(fl, seed);
-    }
+    auto ctl = build(cell, cfg);
+    fault_results[cell][it * cp.positions + pos] =
+        ctl->run_iteration(*cp.fl, seed);
+    if (slot != nullptr) slot->obs.wall_end_us = wall_us();
+  };
+  auto run_baseline = [&](std::size_t cell) {
+    const auto& cp = plan[cell];
+    auto cfg = cell_config(cp.server, opt_);
+    cfg.progress = opt_.progress;
+    const auto seed = derive_seed(opt_.seed, cell, 0);
+    TaskObsSlot* slot = obs_ ? &obs_->tasks[cp.slot_base] : nullptr;
     if (slot != nullptr) {
-      slot->obs.wall_end_us = std::chrono::duration<double, std::micro>(
-                                  std::chrono::steady_clock::now() - wall0)
-                                  .count();
+      slot->cell =
+          std::string(os::os_version_name(cp.version)) + "/" + cp.server;
+      slot->label = "baseline";
+      cfg.obs = &slot->obs;
+      slot->obs.wall_start_us = wall_us();
     }
+    auto ctl = build(cell, cfg);
+    cells[cell].baseline =
+        ctl->run_profile_mode(*cp.fl, opt_.baseline_window_ms, seed);
+    if (slot != nullptr) slot->obs.wall_end_us = wall_us();
+  };
+  auto unit_done = [&](std::size_t cell, double cost) {
+    if (opt_.progress != nullptr) opt_.progress->add_cost(cost);
     if (remaining[cell].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       const auto done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;
+      const auto name = std::string(os::os_version_name(plan[cell].version)) +
+                        "/" + plan[cell].server;
       if (opt_.progress != nullptr) {
-        opt_.progress->cell_done(
-            std::string(os::os_version_name(version)) + "/" + server, done,
-            n_cells);
+        opt_.progress->cell_done(name, done, n_cells);
       } else {
-        GF_INFO() << "campaign cell done: " << server << " on "
-                  << os::os_version_name(version) << " (" << done << "/"
+        GF_INFO() << "campaign cell done: " << name << " (" << done << "/"
                   << n_cells << " cells)";
       }
     }
-  });
+  };
+
+  // Work units, in deterministic construction order (cell-major, baseline
+  // first, then iteration-major chunks). The scheduler is free to run them
+  // in any order on any worker — units only write their own slots.
+  std::vector<WorkUnit> units;
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    units.push_back({[&unit_done, &run_baseline, cell, baseline_cost] {
+                       run_baseline(cell);
+                       unit_done(cell, baseline_cost);
+                     },
+                     baseline_cost});
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (const auto& c : plan[cell].chunks) {
+        units.push_back({[&unit_done, &run_fault, cell, it, c] {
+                           for (std::size_t k = 0; k < c.count; ++k) {
+                             run_fault(cell, it, c.first + k);
+                           }
+                           unit_done(cell, c.cost);
+                         },
+                         c.cost});
+      }
+    }
+  }
+
+  SchedOptions sopt;
+  sopt.jobs = jobs;
+  sopt.steal = opt_.steal;
+  sched_ = std::make_unique<SchedStats>(run_units(std::move(units), sopt));
+  GF_INFO() << "campaign schedule: " << sched_->total_units << " units on "
+            << sched_->workers.size() << " workers, utilization "
+            << sched_->utilization() << ", " << sched_->steals()
+            << " steals (" << sched_->stolen() << " units)";
 
   for (std::size_t cell = 0; cell < n_cells; ++cell) {
-    cells[cell].os_name =
-        os::os_version_name(opt_.versions[cell / opt_.servers.size()]);
-    cells[cell].server_name = opt_.servers[cell % opt_.servers.size()];
+    const auto& cp = plan[cell];
+    cells[cell].os_name = os::os_version_name(cp.version);
+    cells[cell].server_name = cp.server;
     for (std::size_t it = 0; it < iters; ++it) {
-      const auto first = shard_results[cell].begin() +
-                         static_cast<std::ptrdiff_t>(it * shards);
-      cells[cell].iterations.push_back(merge_shards(
-          std::vector<IterationResult>(first, first + static_cast<std::ptrdiff_t>(shards))));
+      const auto first = fault_results[cell].begin() +
+                         static_cast<std::ptrdiff_t>(it * cp.positions);
+      cells[cell].iterations.push_back(merge_fault_runs(
+          std::vector<IterationResult>(
+              first, first + static_cast<std::ptrdiff_t>(cp.positions))));
     }
   }
 
   if (obs_) {
-    // Deterministic join: fold the per-task bundles in slot order, then add
-    // the campaign-level tallies no single task can know.
+    // Deterministic join: fold the per-run bundles in slot order, then add
+    // the campaign-level tallies no single run can know.
     obs_->merge_tasks();
     obs_->metrics.add("campaign.cells", n_cells);
-    obs_->metrics.add("campaign.tasks", n_cells * tasks_per_cell);
+    obs_->metrics.add("campaign.tasks", total_slots);
     obs_->metrics.add("scan.requests", (scan1.hits + scan1.misses) -
                                            (scan0.hits + scan0.misses));
     for (const auto& [version, fl] : faultloads_) {
@@ -303,7 +443,7 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     obs_->metrics.add("snapshot.captures", opt_.warm_boot ? n_cells : 0);
     obs_->metrics.add(opt_.warm_boot ? "snapshot.warm_tasks"
                                      : "snapshot.cold_tasks",
-                      n_cells * tasks_per_cell);
+                      total_slots);
     for (const auto& snap : warm) {
       if (snap) {
         obs_->metrics.gauge("snapshot.bringup_cycles", snap->capture_cycles);

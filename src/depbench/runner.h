@@ -1,19 +1,29 @@
-// Sharded parallel campaign runner.
+// Work-stealing parallel campaign runner with fault-granular chunking.
 //
 // The paper's Table 5 matrix (2 servers x 2 OS versions x 3 iterations) is
-// embarrassingly parallel: every cell task runs against its own SUB. The
-// runner fans baseline/iteration tasks across a std::thread pool where each
-// task builds a fully independent Controller (own kernel, VM, disk, server)
-// and draws its seed from SplitMix64(campaign seed, cell index, task index).
-// Results land in preallocated slots indexed by (cell, task), so the merge
-// is order-independent by construction and `jobs = N` is bit-identical to
-// `jobs = 1`.
+// embarrassingly parallel, and with warm-boot snapshots (src/snapshot) the
+// dominant wall-clock waste left is *tail imbalance*: individual fault
+// exposures have wildly skewed costs (a never-activated fault serves the
+// whole window at full rate; a kill/hang collapses it to timeouts), so any
+// static partition leaves workers idle while the unlucky one drains its
+// worst-case range. The runner therefore decomposes every iteration down to
+// single-fault runs, groups them into cost-balanced *chunks*
+// (depbench/scheduler), and executes the chunks on a work-stealing pool.
 //
-// One iteration can additionally be split into `shards` disjoint fault-index
-// subsets via the controller's fault_stride/fault_offset mechanism: shard s
-// of S covers faultload indices {s*stride, s*stride + S*stride, ...}. Shard
-// results are merged with merge_shards() (counters sum exactly; window
-// metrics merge conservatively, see merge_windows()).
+// Determinism contract: every fault run is an independent mini-run — a fresh
+// Controller from the cell's warm snapshot (or cold-built; bit-identical
+// either way, see src/snapshot), seeded by derive_seed(seed, cell, task)
+// where the task id is a pure function of (iteration, schedule position).
+// Results land in preallocated per-fault slots and merge_fault_runs() folds
+// them in schedule order, so the campaign results, the merged registry, the
+// slot-ordered journal and the activation records are byte-identical for any
+// `jobs`, any `chunk` size and any steal interleaving. Chunk boundaries only
+// decide which worker runs which faults back-to-back — never what a fault
+// run computes.
+//
+// The legacy `shards` option is kept as a deprecated alias: `shards = S`
+// maps onto the same chunked decomposition (S equal chunks per iteration),
+// one code path, identical results.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +34,7 @@
 #include <vector>
 
 #include "depbench/report.h"
+#include "depbench/scheduler.h"
 #include "depbench/task_obs.h"
 #include "obs/progress.h"
 #include "swfit/faultload.h"
@@ -36,7 +47,26 @@ struct RunnerOptions {
   std::vector<std::string> servers{"apex", "abyssal"};
   int iterations = 3;
   int stride = 6;        ///< inject every k-th fault of the faultload
-  int shards = 1;        ///< disjoint fault-index shards per iteration
+  /// Deprecated alias onto chunked decomposition: `shards = S` (S > 1) asks
+  /// for S equal fault chunks per iteration, exactly like `chunk` would.
+  /// Ignored when `chunk` is set. Results are identical for any value.
+  int shards = 1;
+  /// Fault positions per chunk: > 0 forces a fixed size (--chunk), 0 lets
+  /// the cost model size chunks adaptively (see depbench/scheduler).
+  int chunk = 0;
+  /// Work stealing on (default). Off = static contiguous partition of the
+  /// chunk list across workers, no rebalancing — the A/B baseline for
+  /// BM_CampaignSteal. Results are byte-identical either way.
+  bool steal = true;
+  /// Optional cost-model inputs (both may be null — the model falls back to
+  /// per-fault-type activation priors). Borrowed, not owned.
+  const ApiProfile* cost_profile = nullptr;
+  const std::vector<trace::ActivationRecord>* cost_traces = nullptr;
+  /// Optional preloaded faultload (e.g. a portable faultload file loaded by
+  /// gfbench). Used for every version in `versions` instead of scanning the
+  /// kernel image — the caller must ensure it matches the target build(s).
+  /// Borrowed, not owned.
+  const swfit::Faultload* faultload = nullptr;
   double time_scale = 1.0;
   double baseline_window_ms = 120000;
   std::uint64_t seed = 1;
@@ -82,31 +112,40 @@ spec::WindowMetrics merge_windows(const spec::WindowMetrics& a,
 
 /// Folds the shard results of one iteration; the single-shard case is the
 /// identity, so shards = 1 reproduces an unsharded run bit-exactly.
+/// (Legacy helper for coarse disjoint-subset merges; the campaign path now
+/// uses merge_fault_runs.)
 IterationResult merge_shards(const std::vector<IterationResult>& shards);
+
+/// Canonical fold of one iteration's per-fault runs, in schedule order.
+/// Raw counters (duration, ops, errors, bytes, campaign tallies) sum
+/// exactly; THR/RTM/ER% are recomputed from the sums; SPC/CC% take the
+/// rounded mean over runs — each single-fault run is exactly one SPC batch,
+/// so the mean over runs IS the SPECWeb batch mean. The fold order is fixed
+/// (schedule position), so FP results never depend on completion order.
+IterationResult merge_fault_runs(const std::vector<IterationResult>& runs);
 
 /// One task's observability bundle plus its identity, kept in (cell, task)
 /// slot order — the canonical order every rendering walks, which is what
 /// makes the flushed artifacts independent of scheduling.
 struct TaskObsSlot {
   std::string cell;   ///< "VOS-2000/apex"
-  std::string label;  ///< "baseline" or "iter<I>.shard<S>"
+  std::string label;  ///< "baseline" or "iter<I>.f<FAULT_INDEX>"
   TaskObs obs;
 };
 
 /// Merged campaign observability.
 ///
 /// Determinism contract:
-///   - For a fixed (seed, stride, shards, time_scale) the merged registry
-///     JSON and the slot-ordered journal JSONL are byte-identical for any
-///     `jobs` value — tasks are pure functions of (seed, cell, task) and the
-///     merge folds them in slot order.
-///   - Across different `shards` values only the fault-indexed subset is
-///     invariant (campaign.faults_injected, inject.patches/restores/
-///     verifies, trace.*): sharding changes the per-task seeds and slot
-///     boundaries, so workload-coupled counters (client.ops, vm.*, api.*)
-///     legitimately differ. tests/test_obs.cpp checks both halves.
+///   - For a fixed (seed, stride, time_scale) the merged registry JSON and
+///     the slot-ordered journal JSONL are byte-identical for any `jobs`,
+///     `chunk`, `shards` or `steal` value — slots are per *fault*, each a
+///     pure function of (seed, cell, iteration, schedule position), and the
+///     merge folds them in slot order. Chunk boundaries never appear in any
+///     artifact. tests/test_obs.cpp and tests/test_runner_steal.cpp check
+///     this.
 ///   - Wall-clock never enters the registry or journal; it exists only in
-///     the Chrome-trace host view (TaskObs::wall_*).
+///     the Chrome-trace host view (TaskObs::wall_*) and the scheduler
+///     telemetry (SchedStats).
 struct CampaignObs {
   obs::Registry metrics;           ///< merged registry (incl. api.* export)
   obs::ApiMetrics api;             ///< merged per-function sink
@@ -132,7 +171,8 @@ class CampaignRunner {
   explicit CampaignRunner(RunnerOptions opt) : opt_(std::move(opt)) {}
 
   /// Table 5: per cell a profile-mode baseline plus `iterations` full
-  /// injection iterations (each split into `shards` disjoint fault shards).
+  /// injection iterations, decomposed into per-fault runs and executed as
+  /// cost-balanced chunks on the work-stealing pool.
   std::vector<ExperimentCell> run_campaign();
 
   /// Table 4: per cell a max-performance baseline plus a profile-mode run,
@@ -145,6 +185,11 @@ class CampaignRunner {
   /// options().obs was set.
   const CampaignObs* campaign_obs() const noexcept { return obs_.get(); }
 
+  /// Scheduler telemetry of the last run_campaign() (per-worker utilization,
+  /// steal counts); null before the first campaign. Wall-clock-coupled, so
+  /// it never feeds the deterministic artifacts — see SchedStats.
+  const SchedStats* scheduler_stats() const noexcept { return sched_.get(); }
+
  private:
   void scan_faultloads();
   const swfit::Faultload& faultload_for(os::OsVersion v) const;
@@ -155,6 +200,7 @@ class CampaignRunner {
   RunnerOptions opt_;
   std::vector<std::pair<os::OsVersion, swfit::Faultload>> faultloads_;
   std::unique_ptr<CampaignObs> obs_;
+  std::unique_ptr<SchedStats> sched_;
 };
 
 }  // namespace gf::depbench

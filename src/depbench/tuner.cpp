@@ -18,30 +18,32 @@ TunedFaultload tune_faultload(os::Kernel& kernel,
   return out;
 }
 
-swfit::Faultload prune_by_measured_activation(
-    const swfit::Faultload& fl,
-    const std::vector<trace::ActivationRecord>& records,
-    double min_activation_rate) {
-  struct Tally {
-    std::uint64_t traced = 0;
-    std::uint64_t activated = 0;
-  };
-  std::map<std::uint32_t, Tally> tallies;
+std::map<std::uint32_t, MeasuredActivation> measured_activation_by_fault(
+    const std::vector<trace::ActivationRecord>& records) {
+  std::map<std::uint32_t, MeasuredActivation> tallies;
   for (const auto& r : records) {
     auto& t = tallies[r.fault_index];
     ++t.traced;
     if (r.activated()) ++t.activated;
+    if (r.outcome == trace::Outcome::kExternalFailure) ++t.external;
   }
+  return tallies;
+}
+
+swfit::Faultload prune_by_measured_activation(
+    const swfit::Faultload& fl,
+    const std::vector<trace::ActivationRecord>& records,
+    double min_activation_rate) {
+  const auto tallies = measured_activation_by_fault(records);
 
   swfit::Faultload pruned;
   pruned.target = fl.target;
   pruned.digest = fl.digest;
   for (std::size_t i = 0; i < fl.faults.size(); ++i) {
     const auto it = tallies.find(static_cast<std::uint32_t>(i));
-    if (it != tallies.end()) {
-      const double rate = static_cast<double>(it->second.activated) /
-                          static_cast<double>(it->second.traced);
-      if (rate < min_activation_rate) continue;  // measured, never fires
+    if (it != tallies.end() &&
+        it->second.activation_rate() < min_activation_rate) {
+      continue;  // measured, never fires
     }
     pruned.faults.push_back(fl.faults[i]);
   }

@@ -4,12 +4,40 @@
 // heavily uses.
 #pragma once
 
+#include <map>
+
 #include "depbench/profiler.h"
 #include "os/kernel.h"
 #include "swfit/scanner.h"
 #include "trace/activation.h"
 
 namespace gf::depbench {
+
+/// Per-fault measured exposure tallies, folded from activation records.
+/// Shared between the fine-tuning pruner (drop faults that never fire) and
+/// the scheduler's cost model (activated faults are *cheap* to expose —
+/// kills and hangs collapse the window's op count).
+struct MeasuredActivation {
+  std::uint64_t traced = 0;     ///< exposures with a record
+  std::uint64_t activated = 0;  ///< exposures whose window executed
+  std::uint64_t external = 0;   ///< exposures the client/monitor saw fail
+
+  double activation_rate() const noexcept {
+    return traced > 0
+               ? static_cast<double>(activated) / static_cast<double>(traced)
+               : 0.0;
+  }
+  double external_rate() const noexcept {
+    return traced > 0
+               ? static_cast<double>(external) / static_cast<double>(traced)
+               : 0.0;
+  }
+};
+
+/// Folds records into per-fault-index tallies (commutative, so any record
+/// order — merged iterations, multiple cells — gives the same map).
+std::map<std::uint32_t, MeasuredActivation> measured_activation_by_fault(
+    const std::vector<trace::ActivationRecord>& records);
 
 struct TunedFaultload {
   ApiProfile profile;                  ///< the Table 2 data

@@ -20,7 +20,7 @@ class Journal;
 
 struct TaskTrack {
   std::string cell;   ///< e.g. "VOS-2000/apex"
-  std::string label;  ///< e.g. "iter0.shard1" or "baseline"
+  std::string label;  ///< e.g. "iter0.f12" or "baseline"
   std::uint32_t tid = 0;
   double wall_start_us = 0;  ///< relative to campaign start
   double wall_end_us = 0;

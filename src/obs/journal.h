@@ -71,7 +71,7 @@ class Journal {
 
 /// One canonical JSON object per event:
 ///   {"track":"...","seq":N,"ph":"B","name":"...","ms":...,"cycle":...}
-/// `track` labels the owning task (e.g. "VOS-2000/apex/iter0.shard1"); seq
+/// `track` labels the owning task (e.g. "VOS-2000/apex/iter0.f12"); seq
 /// numbers restart per journal and count dropped events so gaps are visible.
 void write_jsonl(std::ostream& os, const std::string& track, const Journal& j);
 

@@ -21,8 +21,24 @@ void ProgressReporter::set_total(std::uint64_t total_faults) noexcept {
   total_.store(total_faults, std::memory_order_relaxed);
 }
 
+void ProgressReporter::set_total_cost(double cost) noexcept {
+  total_cost_m_.store(static_cast<std::uint64_t>(cost > 0 ? cost * 1000.0 : 0),
+                      std::memory_order_relaxed);
+}
+
+void ProgressReporter::add_cost(double cost) noexcept {
+  done_cost_m_.fetch_add(
+      static_cast<std::uint64_t>(cost > 0 ? cost * 1000.0 : 0),
+      std::memory_order_relaxed);
+  maybe_report();
+}
+
 void ProgressReporter::add_faults(std::uint64_t n) noexcept {
-  const std::uint64_t done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+  done_.fetch_add(n, std::memory_order_relaxed);
+  maybe_report();
+}
+
+void ProgressReporter::maybe_report() noexcept {
   const double elapsed = now_s() - start_s_;
   const auto stamp = static_cast<std::uint64_t>(elapsed * 1000.0);
   std::uint64_t last = last_print_ms_.load(std::memory_order_relaxed);
@@ -32,14 +48,26 @@ void ProgressReporter::add_faults(std::uint64_t n) noexcept {
                                               std::memory_order_relaxed)) {
     return;
   }
-  report(done, elapsed);
+  report(done_.load(std::memory_order_relaxed), elapsed);
 }
 
 void ProgressReporter::report(std::uint64_t done, double elapsed_s) noexcept {
   const std::uint64_t total = total_.load(std::memory_order_relaxed);
   const double rate = elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0;
-  if (total > 0 && rate > 0 && done <= total) {
-    const double eta = static_cast<double>(total - done) / rate;
+  // Completed-cost ETA when the scheduler announced cost totals: elapsed
+  // scales with work *done*, not with how many faults the currently
+  // in-flight chunks happen to contain, so the estimate is stable under
+  // dynamic chunk sizes. Fault-rate ETA is the fallback.
+  const auto total_cm = total_cost_m_.load(std::memory_order_relaxed);
+  const auto done_cm = done_cost_m_.load(std::memory_order_relaxed);
+  double eta = -1;
+  if (total_cm > 0 && done_cm > 0 && done_cm <= total_cm) {
+    eta = elapsed_s * (static_cast<double>(total_cm - done_cm) /
+                       static_cast<double>(done_cm));
+  } else if (total > 0 && rate > 0 && done <= total) {
+    eta = static_cast<double>(total - done) / rate;
+  }
+  if (total > 0 && eta >= 0 && done <= total) {
     std::fprintf(stderr,
                  "[progress] %llu/%llu faults (%.1f%%)  %.1f faults/s  "
                  "eta %.0fs\n",

@@ -22,6 +22,17 @@ class ProgressReporter {
   /// Total faults the campaign plans to inject (denominator for the ETA).
   void set_total(std::uint64_t total_faults) noexcept;
 
+  /// Estimated total cost of the planned work (arbitrary units — the
+  /// scheduler's chunk cost model). When set, the ETA extrapolates from
+  /// *completed cost* instead of the raw fault rate: under dynamic
+  /// chunk scheduling the per-fault rate swings with whichever chunk sizes
+  /// happen to be in flight, and a rate-based ETA jumps around with it.
+  void set_total_cost(double cost) noexcept;
+
+  /// Called by the scheduler when a work unit (fault chunk / baseline)
+  /// completes, with that unit's estimated cost.
+  void add_cost(double cost) noexcept;
+
   /// Called by controllers per injected fault; prints at most once per
   /// interval.
   void add_faults(std::uint64_t n = 1) noexcept;
@@ -39,11 +50,16 @@ class ProgressReporter {
 
  private:
   void report(std::uint64_t done, double elapsed_s) noexcept;
+  void maybe_report() noexcept;
   double now_s() const noexcept;
 
   const double min_interval_s_;
   std::atomic<std::uint64_t> total_{0};
   std::atomic<std::uint64_t> done_{0};
+  /// Cost accounting in fixed-point milli-units so the accumulate is a plain
+  /// atomic add (no atomic<double> RMW needed).
+  std::atomic<std::uint64_t> total_cost_m_{0};
+  std::atomic<std::uint64_t> done_cost_m_{0};
   /// Wall seconds (relative to start_) of the last printed line, as a CAS
   /// token: whoever wins the exchange prints.
   std::atomic<std::uint64_t> last_print_ms_{0};

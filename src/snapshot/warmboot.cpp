@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "os/api.h"
+#include "spec/client.h"
 
 namespace gf::snapshot {
 
@@ -11,9 +12,10 @@ std::shared_ptr<const WarmSnapshot> capture_warm_boot(
     const spec::FilesetConfig& fileset) {
   // This must mirror a cold Controller's path to its first run exactly:
   // constructor (kernel boot, file-set population, server construction)
-  // followed by the run-entry reboot + start. Any extra guest activity here
-  // would shift the restored cycle/tick counters away from a cold run's and
-  // break the bit-identity guarantee (guarded by tests/test_snapshot.cpp).
+  // followed by the run-entry reboot + start + deterministic warm-up serve.
+  // Any extra guest activity here would shift the restored cycle/tick
+  // counters away from a cold run's and break the bit-identity guarantee
+  // (guarded by tests/test_snapshot.cpp).
   os::Kernel kernel(version);
   os::OsApi api(kernel);
   spec::Fileset files(kernel.disk(), fileset);
@@ -23,6 +25,7 @@ std::shared_ptr<const WarmSnapshot> capture_warm_boot(
   if (!server->start()) {
     throw std::runtime_error("server failed to start on a healthy OS");
   }
+  spec::warm_server(*server, files);
 
   auto snap = std::make_shared<WarmSnapshot>();
   snap->kernel = kernel.snapshot();

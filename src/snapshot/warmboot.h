@@ -5,7 +5,8 @@
 // (OS version, server) cell, yet the sharded runner used to repeat it per
 // task and per iteration. Following ZOFI's clone-the-warmed-process model,
 // this subsystem performs the bring-up ONCE per cell, captures the complete
-// machine + kernel + server-process state right after server start, and lets
+// machine + kernel + server-process state right after server start and the
+// deterministic warm-up serve (spec::warm_server), and lets
 // every task reconstruct its private SUB from the shared snapshot in
 // O(memory copy): no MiniC compilation, no boot execution, no file-set
 // regeneration (disk content is copy-on-write, so tasks share file bytes

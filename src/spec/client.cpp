@@ -136,4 +136,12 @@ WindowMetrics SpecClient::run_window(web::WebServer& server,
   return m;
 }
 
+void warm_server(web::WebServer& server, const Fileset& fs) {
+  for (const auto& f : fs.files()) {
+    web::Request req;
+    req.path = f.path;
+    server.handle(req);
+  }
+}
+
 }  // namespace gf::spec

@@ -63,4 +63,17 @@ class SpecClient {
   ClientConfig cfg_;
 };
 
+/// Deterministic server warm-up — part of SUB bring-up.
+///
+/// Serves every static file of the set once, in file-set order, so the
+/// server reaches its steady serving state (apex's response cache full,
+/// log/heap paths exercised) before any measurement or fault exposure.
+/// Without this, a server that has just started is structurally more
+/// fragile than one under sustained load: every request misses the cache
+/// and walks the full OS API path, so injected faults activate far more
+/// often than the paper's warmed-SUB procedure would show. The sequence is
+/// a pure function of the file set — cold bring-up and warm-boot snapshot
+/// capture replay it identically, preserving bit-identity.
+void warm_server(web::WebServer& server, const Fileset& fs);
+
 }  // namespace gf::spec

@@ -133,8 +133,16 @@ class ApexServer final : public WebServer {
                   served_since_audit_, heap_probe_failures_}) {
       out.push_back(v);
     }
-    // The response cache is intentionally not serialized: snapshots are
-    // taken right after start(), when a fresh process's cache is cold.
+  }
+
+  void do_save_blobs(
+      std::vector<std::pair<std::string, std::vector<std::uint8_t>>>& out)
+      const override {
+    // The cache is part of the warmed process: snapshots are captured after
+    // the bring-up warm-up serve, and a restored process must hit the cache
+    // exactly like the one that was captured. std::map iterates key-sorted,
+    // so the image is deterministic.
+    for (const auto& [path, body] : cache_) out.emplace_back(path, body);
   }
 
   void do_restore_state(WordReader& in) override {
@@ -152,6 +160,16 @@ class ApexServer final : public WebServer {
     served_since_audit_ = static_cast<int>(in.next());
     heap_probe_failures_ = static_cast<int>(in.next());
     cache_.clear();
+  }
+
+  void do_restore_blobs(
+      const std::vector<std::pair<std::string, std::vector<std::uint8_t>>>&
+          in) override {
+    cache_.clear();
+    for (const auto& [path, body] : in) {
+      if (cache_.size() >= kCacheEntries) break;
+      cache_[path] = body;
+    }
   }
 
  private:

@@ -79,6 +79,7 @@ ProcessImage WebServer::save_process() const {
   img.stats = stats_;
   img.last_cycles = last_cycles_;
   do_save_state(img.words);
+  do_save_blobs(img.blobs);
   return img;
 }
 
@@ -88,6 +89,7 @@ void WebServer::restore_process(const ProcessImage& img) {
   last_cycles_ = img.last_cycles;
   WordReader in(img.words);
   do_restore_state(in);
+  do_restore_blobs(img.blobs);
 }
 
 bool WebServer::try_self_restart() {

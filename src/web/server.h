@@ -54,6 +54,10 @@ struct ProcessImage {
   ServerStats stats;
   std::uint64_t last_cycles = 0;
   std::vector<std::int64_t> words;  ///< per-server scalars, declaration order
+  /// Variable-size state that does not flatten to scalars (e.g. apex's
+  /// response cache, one entry per cached path). Key-sorted so the image
+  /// is a deterministic function of the server state.
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> blobs;
 };
 
 class WebServer {
@@ -123,6 +127,14 @@ class WebServer {
   /// order. The base class covers state/stats/last-cycles.
   virtual void do_save_state(std::vector<std::int64_t>& out) const = 0;
   virtual void do_restore_state(WordReader& in) = 0;
+  /// Variable-size state (ProcessImage::blobs). Runs after the word pass on
+  /// restore; default: the server has none.
+  virtual void do_save_blobs(
+      std::vector<std::pair<std::string, std::vector<std::uint8_t>>>&)
+      const {}
+  virtual void do_restore_blobs(
+      const std::vector<std::pair<std::string, std::vector<std::uint8_t>>>&) {
+  }
 
   os::OsApi& api() noexcept { return api_; }
 

@@ -4,7 +4,8 @@
 //   gfbench profile  --os 2000|xp [--servers a,b,...]
 //   gfbench campaign --os 2000|xp --server apex|abyssal
 //                    [--faultload FILE] [--stride K] [--scale S]
-//                    [--iterations N] [--seed S]
+//                    [--iterations N] [--seed S] [--jobs J] [--chunk N]
+//                    [--no-steal]
 //   gfbench show     --faultload FILE [--limit N]
 //
 // `scan` writes a portable faultload file; `campaign` can consume it later
@@ -35,8 +36,10 @@ using namespace gf;
                "  profile  --os 2000|xp [--servers apex,abyssal,...]\n"
                "  campaign --os 2000|xp --server NAME [--faultload FILE]\n"
                "           [--stride K] [--scale S] [--iterations N] [--seed S]\n"
+               "           [--jobs J] [--chunk N] [--no-steal]\n"
                "           [--metrics-json FILE] [--html-report FILE]\n"
                "           [--journal-out FILE] [--chrome-trace FILE]\n"
+               "           [--sched-json FILE]\n"
                "  show     --faultload FILE [--limit N]\n");
   std::exit(2);
 }
@@ -46,7 +49,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
   for (int i = from; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) usage();
     const std::string key = argv[i] + 2;
-    if (key == "all-symbols") {
+    if (key == "all-symbols" || key == "no-steal") {
       flags[key] = "1";
     } else if (i + 1 < argc) {
       flags[key] = argv[++i];
@@ -132,7 +135,8 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
   if (!flags.count("server")) usage();
   const auto server = flags.at("server");
 
-  os::Kernel scan_kernel(version);
+  // A portable faultload file is digest-checked against this build before it
+  // is handed to the runner; without the flag the runner scans for itself.
   swfit::Faultload fl;
   if (flags.count("faultload")) {
     std::ifstream f(flags.at("faultload"));
@@ -143,6 +147,7 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
     std::stringstream buf;
     buf << f.rdbuf();
     fl = swfit::Faultload::parse(buf.str());
+    os::Kernel scan_kernel(version);
     if (!fl.matches(scan_kernel.pristine_image())) {
       std::fprintf(stderr,
                    "faultload digest does not match this %s build — refusing "
@@ -150,94 +155,62 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
                    os::os_version_name(version));
       return 1;
     }
-  } else {
-    fl = swfit::Scanner{}.scan(scan_kernel.pristine_image(), api_names());
   }
 
-  depbench::ControllerConfig cfg;
-  cfg.connections = server == "apex" ? 37 : 34;
-  if (flags.count("stride")) cfg.fault_stride = std::stoi(flags.at("stride"));
-  if (flags.count("scale")) cfg.time_scale = std::stod(flags.at("scale"));
-  const int iterations =
+  // Single-cell campaign through the work-stealing CampaignRunner — the
+  // same decomposition, seeds, slots and merges as the bench drivers, so a
+  // gfbench run is byte-for-byte a one-cell slice of the full campaign.
+  depbench::RunnerOptions ropt;
+  ropt.versions = {version};
+  ropt.servers = {server};
+  ropt.iterations =
       flags.count("iterations") ? std::stoi(flags.at("iterations")) : 3;
-  const auto seed = flags.count("seed")
-                        ? std::stoull(flags.at("seed"))
-                        : std::uint64_t{1000};
+  ropt.stride = flags.count("stride") ? std::stoi(flags.at("stride")) : 1;
+  if (flags.count("scale")) ropt.time_scale = std::stod(flags.at("scale"));
+  ropt.seed = flags.count("seed") ? std::stoull(flags.at("seed"))
+                                  : std::uint64_t{1000};
+  ropt.jobs = flags.count("jobs") ? std::stoi(flags.at("jobs")) : 0;
+  ropt.chunk = flags.count("chunk") ? std::stoi(flags.at("chunk")) : 0;
+  ropt.steal = !flags.count("no-steal");
+  if (flags.count("faultload")) ropt.faultload = &fl;
+  ropt.obs = flags.count("metrics-json") || flags.count("html-report") ||
+             flags.count("journal-out") || flags.count("chrome-trace");
 
-  // Observability artifacts: one TaskObs bundle per run (baseline +
-  // iterations), merged exactly like the campaign runner's slot join.
-  const bool want_obs = flags.count("metrics-json") ||
-                        flags.count("html-report") ||
-                        flags.count("journal-out") ||
-                        flags.count("chrome-trace");
-  depbench::CampaignObs cobs;
-  if (want_obs) {
-    cobs.tasks.resize(1 + static_cast<std::size_t>(std::max(0, iterations)));
-    const std::string cell_name =
-        std::string(os::os_version_name(version)) + "/" + server;
-    for (std::size_t t = 0; t < cobs.tasks.size(); ++t) {
-      cobs.tasks[t].cell = cell_name;
-      cobs.tasks[t].label =
-          t == 0 ? "baseline" : "iter" + std::to_string(t - 1) + ".shard0";
-    }
-  }
-  auto run_cfg = [&](std::size_t task) {
-    auto c = cfg;
-    if (want_obs) c.obs = &cobs.tasks[task].obs;
-    return c;
-  };
-
-  depbench::ExperimentCell cell;
-  cell.os_name = os::os_version_name(version);
-  cell.server_name = server;
-  {
-    depbench::Controller ctl(version, server, run_cfg(0));
-    cell.baseline = ctl.run_profile_mode(fl, 120000, 1);
-  }
-  for (int i = 0; i < iterations; ++i) {
-    depbench::Controller ctl(version, server,
-                             run_cfg(static_cast<std::size_t>(i) + 1));
-    cell.iterations.push_back(
-        ctl.run_iteration(fl, seed + static_cast<std::uint64_t>(i)));
-  }
+  depbench::CampaignRunner runner(ropt);
+  const auto cells = runner.run_campaign();
+  const auto& cell = cells.at(0);
   std::printf("%s\n", depbench::render_table5_cell(cell).c_str());
   const auto d = depbench::derive_metrics(cell);
   std::printf("SPC retention %.0f%%, THR retention %.0f%%, ER%%f %.1f, "
               "ADMf %.1f\n",
               100 * d.spc_rel, 100 * d.thr_rel, d.erf_pct, d.admf);
 
-  if (want_obs) {
-    cobs.merge_tasks();
-    depbench::RunnerOptions ropt;
-    ropt.versions = {version};
-    ropt.servers = {server};
-    ropt.iterations = iterations;
-    ropt.stride = cfg.fault_stride;
-    ropt.shards = 1;
-    ropt.time_scale = cfg.time_scale;
-    ropt.seed = seed;
-    ropt.warm_boot = false;
-    ropt.trace = cfg.trace;
-    auto emit = [&](const char* flag, const std::string& content) {
-      if (!flags.count(flag)) return true;
-      std::ofstream out(flags.at(flag));
-      if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", flags.at(flag).c_str());
-        return false;
-      }
-      out << content;
-      std::printf("wrote %s\n", flags.at(flag).c_str());
-      return true;
-    };
+  auto emit = [&](const char* flag, const std::string& content) {
+    if (!flags.count(flag)) return true;
+    std::ofstream out(flags.at(flag));
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", flags.at(flag).c_str());
+      return false;
+    }
+    out << content;
+    std::printf("wrote %s\n", flags.at(flag).c_str());
+    return true;
+  };
+  const auto* cobs = runner.campaign_obs();
+  if (cobs != nullptr) {
     std::ostringstream journal;
-    depbench::write_campaign_journal(journal, cobs);
-    if (!emit("metrics-json", cobs.metrics.to_json()) ||
+    depbench::write_campaign_journal(journal, *cobs);
+    if (!emit("metrics-json", cobs->metrics.to_json()) ||
         !emit("html-report",
-              depbench::campaign_html_report({cell}, ropt, &cobs)) ||
+              depbench::campaign_html_report(cells, ropt, cobs)) ||
         !emit("journal-out", journal.str()) ||
-        !emit("chrome-trace", depbench::campaign_chrome_trace(cobs))) {
+        !emit("chrome-trace", depbench::campaign_chrome_trace(*cobs))) {
       return 1;
     }
+  }
+  if (runner.scheduler_stats() != nullptr &&
+      !emit("sched-json", runner.scheduler_stats()->to_json())) {
+    return 1;
   }
   return 0;
 }

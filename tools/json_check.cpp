@@ -5,6 +5,7 @@
 //   json_check --schema metrics FILE      obs registry shape
 //   json_check --schema chrome FILE       Chrome trace-event shape
 //   json_check --schema manifest FILE     genfault-campaign manifest shape
+//   json_check --schema sched FILE        scheduler A/B bench shape
 //
 // Exit 0 when every file validates; prints the first problem per file and
 // exits 1 otherwise. run_benches.sh and the CI workflow pipe every emitted
@@ -25,8 +26,8 @@ using gf::obs::json::Value;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: json_check [--jsonl] [--schema metrics|chrome|manifest] "
-               "FILE...\n");
+               "usage: json_check [--jsonl] "
+               "[--schema metrics|chrome|manifest|sched] FILE...\n");
   std::exit(2);
 }
 
@@ -167,6 +168,77 @@ bool check_manifest(const std::string& file, const Value& root) {
   return true;
 }
 
+/// One scheduler telemetry object ("genfault-sched/1"): jobs/units/wall_us
+/// plus a workers[] entry per thread (see SchedStats::to_json).
+bool check_sched_stats(const std::string& file, const std::string& at,
+                       const Value& v) {
+  if (v.type != Value::Type::kObject) return fail(file, at + " not object");
+  const auto* schema = v.find("schema");
+  if (!is_string(schema) || schema->string != "genfault-sched/1") {
+    return fail(file, at + " schema is not genfault-sched/1");
+  }
+  for (const char* key : {"jobs", "units", "wall_us", "utilization",
+                          "imbalance", "cpu_makespan_us", "steal_batches",
+                          "stolen_units"}) {
+    if (!is_number(v.find(key))) {
+      return fail(file, at + " missing number field: " + key);
+    }
+  }
+  const auto* steal = v.find("steal");
+  if (steal == nullptr || steal->type != Value::Type::kBool) {
+    return fail(file, at + " missing bool field: steal");
+  }
+  const auto* workers = v.find("workers");
+  if (!is_array(workers)) return fail(file, at + " missing workers[]");
+  if (workers->array.size() !=
+      static_cast<std::size_t>(v.find("jobs")->number)) {
+    return fail(file, at + " workers[] length != jobs");
+  }
+  for (std::size_t i = 0; i < workers->array.size(); ++i) {
+    const auto& w = workers->array[i];
+    const auto wat = at + ".workers[" + std::to_string(i) + "]";
+    if (w.type != Value::Type::kObject) return fail(file, wat + " not object");
+    for (const char* key : {"units", "stolen_units", "steal_batches",
+                            "steal_attempts", "busy_us", "cpu_us",
+                            "est_cost"}) {
+      if (!is_number(w.find(key))) {
+        return fail(file, wat + " missing number field: " + key);
+      }
+    }
+  }
+  return true;
+}
+
+/// BENCH_sched.json ("genfault-sched-bench/1"): the BM_CampaignSteal A/B —
+/// timings, the identity verdict and both runs' scheduler telemetry.
+bool check_sched(const std::string& file, const Value& root) {
+  if (root.type != Value::Type::kObject) return fail(file, "root not object");
+  const auto* schema = root.find("schema");
+  if (!is_string(schema) || schema->string != "genfault-sched-bench/1") {
+    return fail(file, "schema is not genfault-sched-bench/1");
+  }
+  for (const char* key : {"jobs", "static_ms", "steal_ms", "speedup",
+                          "static_makespan_ms", "steal_makespan_ms",
+                          "makespan_speedup"}) {
+    if (!is_number(root.find(key))) {
+      return fail(file, std::string("missing number field: ") + key);
+    }
+  }
+  const auto* ident = root.find("artifacts_identical");
+  if (ident == nullptr || ident->type != Value::Type::kBool) {
+    return fail(file, "missing bool field: artifacts_identical");
+  }
+  if (!ident->boolean) {
+    return fail(file, "artifacts_identical is false (determinism regression)");
+  }
+  const auto* stat = root.find("static");
+  const auto* steal = root.find("steal");
+  if (stat == nullptr) return fail(file, "missing static{}");
+  if (steal == nullptr) return fail(file, "missing steal{}");
+  return check_sched_stats(file, "static", *stat) &&
+         check_sched_stats(file, "steal", *steal);
+}
+
 bool check_file(const std::string& file, const std::string& schema,
                 bool jsonl) {
   std::ifstream f(file);
@@ -198,6 +270,7 @@ bool check_file(const std::string& file, const std::string& schema,
   if (schema == "metrics") return check_metrics(file, *v);
   if (schema == "chrome") return check_chrome(file, *v);
   if (schema == "manifest") return check_manifest(file, *v);
+  if (schema == "sched") return check_sched(file, *v);
   return true;
 }
 
@@ -213,7 +286,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--schema") == 0) {
       if (i + 1 >= argc) usage();
       schema = argv[++i];
-      if (schema != "metrics" && schema != "chrome" && schema != "manifest") {
+      if (schema != "metrics" && schema != "chrome" && schema != "manifest" &&
+          schema != "sched") {
         usage();
       }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {

@@ -3,10 +3,12 @@
 // server x OS cell through the sharded parallel CampaignRunner.
 #pragma once
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "depbench/runner.h"
 #include "depbench/tuner.h"
 #include "obs/progress.h"
+#include "store/store.h"
 #include "swfit/scanner.h"
 #include "trace/activation.h"
 #include "util/log.h"
@@ -50,6 +53,15 @@ struct CampaignOptions {
   std::string journal_out;   ///< per-task event journal, JSONL
   std::string chrome_trace;  ///< Perfetto-loadable trace-event JSON
   std::string html_report;   ///< self-contained HTML report
+  /// Crash-safe content-addressed result store (src/store). Artifacts are
+  /// byte-identical for any cache-hit pattern; the hit/miss telemetry goes
+  /// to --store-json, never into the manifest.
+  std::string store_dir;     ///< empty = no store
+  bool no_cache = false;     ///< re-execute everything (still commits)
+  std::string store_json;    ///< store telemetry JSON (genfault-store/1)
+  /// CI/test hook: SIGKILL the process after the Nth store commit (0 = off)
+  /// to exercise torn-tail recovery + resume.
+  std::uint64_t crash_after_puts = 0;
   bool trace() const { return activation_report || !trace_out.empty() ||
                               !activation_json.empty(); }
   /// Any artifact that needs per-task TaskObs bundles?
@@ -109,6 +121,16 @@ inline CampaignOptions parse_options(int argc, char** argv) {
       opt.chrome_trace = argv[++i];
     } else if (std::strcmp(argv[i], "--html-report") == 0 && i + 1 < argc) {
       opt.html_report = argv[++i];
+    } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      opt.store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      opt.no_cache = true;
+    } else if (std::strcmp(argv[i], "--store-json") == 0 && i + 1 < argc) {
+      opt.store_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--crash-after-puts") == 0 &&
+               i + 1 < argc) {
+      opt.crash_after_puts =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick|--full] [--scale S] [--stride K] "
@@ -118,7 +140,9 @@ inline CampaignOptions parse_options(int argc, char** argv) {
                    "[--trace-out FILE.jsonl] [--activation-json FILE.json] "
                    "[--cold-boot] [--progress] [--metrics-json FILE] "
                    "[--journal-out FILE.jsonl] [--chrome-trace FILE] "
-                   "[--html-report FILE] [--sched-json FILE]\n",
+                   "[--html-report FILE] [--sched-json FILE] "
+                   "[--store DIR] [--no-cache] [--store-json FILE] "
+                   "[--crash-after-puts N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -207,9 +231,31 @@ inline std::vector<depbench::ExperimentCell> run_all_cells(
   obs::ProgressReporter progress;
   auto ropt = to_runner_options(opt);
   if (opt.progress) ropt.progress = &progress;
+  std::unique_ptr<store::CampaignStore> cstore;
+  if (!opt.store_dir.empty()) {
+    cstore = std::make_unique<store::CampaignStore>(opt.store_dir);
+    ropt.store = cstore.get();
+    ropt.store_read = !opt.no_cache;
+    if (opt.crash_after_puts > 0) {
+      const auto n = opt.crash_after_puts;
+      cstore->set_commit_hook([n](std::uint64_t count) {
+        if (count >= n) std::raise(SIGKILL);
+      });
+    }
+  }
   depbench::CampaignRunner runner(ropt);
   auto cells = runner.run_campaign();
   emit_obs_outputs(cells, opt, runner);
+  if (!opt.store_json.empty() && runner.store_stats() != nullptr) {
+    std::ofstream out(opt.store_json);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.store_json.c_str());
+      std::exit(1);
+    }
+    out << runner.store_stats()->to_json();
+    std::fprintf(stderr, "[campaign] store telemetry -> %s\n",
+                 opt.store_json.c_str());
+  }
   if (!opt.sched_json.empty() && runner.scheduler_stats() != nullptr) {
     std::ofstream out(opt.sched_json);
     if (!out) {

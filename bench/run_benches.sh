@@ -7,7 +7,9 @@
 # snapshot-restore ratio plus an end-to-end quick campaign A/B with
 # --cold-boot (results are bit-identical; only wall time differs), and the
 # work-stealing scheduler A/B (BENCH_sched.json): chunked + stealing vs the
-# static sharder on a skewed faultload, artifacts byte-compared.
+# static sharder on a skewed faultload, artifacts byte-compared, and the
+# campaign-store A/B (BENCH_store.json): cold vs all-hit resume vs
+# incremental re-run after a one-fault-type edit, artifacts byte-compared.
 #
 # Usage: bench/run_benches.sh [build-dir] [out.json] [extra benchmark args...]
 set -euo pipefail
@@ -18,11 +20,12 @@ ACT_OUT=${ACT_OUT:-BENCH_activation.json}
 SNAP_OUT=${SNAP_OUT:-BENCH_snapshot.json}
 OBS_OUT=${OBS_OUT:-BENCH_obs.json}
 SCHED_OUT=${SCHED_OUT:-BENCH_sched.json}
+STORE_OUT=${STORE_OUT:-BENCH_store.json}
 [ $# -ge 1 ] && shift
 [ $# -ge 1 ] && shift
 
 for bin in bench/micro_substrate bench/table5_campaign bench/campaign_steal \
-           tools/json_check; do
+           bench/campaign_resume tools/json_check; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built" \
          "(cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
@@ -135,10 +138,20 @@ echo "obs overhead written to $OBS_OUT" >&2
 "$BUILD_DIR/bench/campaign_steal" --out "$SCHED_OUT" 2> /dev/null
 echo "scheduler A/B written to $SCHED_OUT" >&2
 
+# Campaign-store A/B (BM_CampaignResume / BM_CampaignIncremental): the same
+# campaign cold, resumed against the populated store (all hits), and after a
+# one-fault-type edit (only that type's keys re-execute). The bench exits
+# non-zero if the resume artifacts are not byte-identical to the cold run's
+# or the hit/miss pattern is wrong (acceptance bar: incremental >= 5x).
+"$BUILD_DIR/bench/campaign_resume" --jobs 4 --store-dir "$OBS_DIR/store" \
+  --out "$STORE_OUT" 2> /dev/null
+echo "campaign store A/B written to $STORE_OUT" >&2
+
 # Validate every emitted JSON artifact; a malformed emitter fails the run
 # loudly here instead of producing quietly-broken dashboards downstream.
 "$BUILD_DIR/tools/json_check" "$OUT" "$ACT_OUT" "$SNAP_OUT" "$OBS_OUT"
 "$BUILD_DIR/tools/json_check" --schema sched "$SCHED_OUT"
+"$BUILD_DIR/tools/json_check" --schema store "$STORE_OUT"
 "$BUILD_DIR/tools/json_check" --schema manifest "$OBS_DIR/manifest.json"
 "$BUILD_DIR/tools/json_check" --schema chrome "$OBS_DIR/trace.json"
 "$BUILD_DIR/tools/json_check" --jsonl "$OBS_DIR/journal.jsonl"

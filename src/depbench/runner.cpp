@@ -9,7 +9,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "isa/isa.h"
 #include "snapshot/warmboot.h"
+#include "store/campaign_codec.h"
 #include "swfit/scanner.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -34,6 +36,76 @@ ControllerConfig cell_config(const std::string& server,
   cfg.trace_probe_per_call = opt.trace_probe_per_call;
   return cfg;
 }
+
+void key_instrs(store::KeyBuilder& kb, const std::vector<isa::Instr>& code) {
+  std::vector<std::uint8_t> raw(code.size() * isa::kInstrSize);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    isa::encode(code[i], raw.data() + i * isa::kInstrSize);
+  }
+  kb.bytes(raw.data(), raw.size());
+}
+
+/// Content digest of ONE fault: everything an injected run can observe of
+/// it. Keyed per fault (not per faultload) so editing one fault type's
+/// mutations invalidates only that type's cached runs.
+std::uint64_t fault_digest(const swfit::FaultLocation& f) {
+  store::KeyBuilder kb;
+  kb.u64(static_cast<std::uint64_t>(f.type)).str(f.function).u64(f.addr);
+  key_instrs(kb, f.original);
+  key_instrs(kb, f.mutated);
+  const auto k = kb.finish();
+  return k.hi ^ k.lo;
+}
+
+/// Digest of what profile mode sees of the schedule: the *original* windows
+/// only (profile mode verifies but never patches), over the sampled
+/// positions. Mutation edits therefore keep the baseline cached.
+std::uint64_t profile_digest(const swfit::Faultload& fl, std::size_t stride) {
+  store::KeyBuilder kb;
+  for (std::size_t i = 0; i < fl.faults.size(); i += stride) {
+    const auto& f = fl.faults[i];
+    kb.u64(static_cast<std::uint64_t>(f.type)).str(f.function).u64(f.addr);
+    key_instrs(kb, f.original);
+  }
+  const auto k = kb.finish();
+  return k.hi ^ k.lo;
+}
+
+/// Key prefix shared by every run of one cell: schema, target build,
+/// cell identity, the full controller/client configuration, seed and
+/// schedule shape. Everything a run's result depends on except
+/// (kind, iteration, position, fault content).
+store::KeyBuilder cell_key_base(const RunnerOptions& opt,
+                                const ControllerConfig& cfg,
+                                const swfit::Faultload& fl,
+                                os::OsVersion version,
+                                const std::string& server, std::size_t stride,
+                                std::size_t positions) {
+  store::KeyBuilder kb;
+  kb.u64(store::kResultSchema);
+  kb.u64(fl.digest).str(fl.target);
+  kb.str(os::os_version_name(version)).str(server);
+  kb.f64(cfg.fault_exposure_ms).f64(cfg.detect_ms).f64(cfg.admin_restart_ms);
+  kb.u64(static_cast<std::uint64_t>(cfg.connections)).f64(cfg.time_scale);
+  kb.u64(static_cast<std::uint64_t>(cfg.faults_per_slot));
+  kb.u64(static_cast<std::uint64_t>(cfg.self_restart_budget));
+  // trace and obs shape what a run records (activations, journal, registry);
+  // a record cached without them must read as a miss, never as a wrong hit.
+  kb.u64(cfg.trace ? 1 : 0).u64(cfg.trace_probe_per_call ? 1 : 0);
+  kb.u64(opt.obs ? 1 : 0);
+  const auto& cl = cfg.client;
+  kb.u64(static_cast<std::uint64_t>(cl.connections));
+  kb.f64(cl.conn_bandwidth_kbps).f64(cl.conforming_kbps);
+  kb.f64(cl.max_error_pct).f64(cl.base_latency_ms).f64(cl.cycles_per_ms);
+  kb.f64(cl.op_timeout_ms).f64(cl.error_latency_ms);
+  kb.u64(cl.validate_content ? 1 : 0).f64(cl.spc_batch_ms);
+  kb.u64(opt.seed).u64(stride).u64(positions);
+  return kb;
+}
+
+/// Run kinds folded after the cell prefix (baseline vs fault run).
+constexpr std::uint64_t kKindBaseline = 1;
+constexpr std::uint64_t kKindFault = 2;
 
 }  // namespace
 
@@ -244,13 +316,19 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     std::size_t positions = 0;  ///< faults per iteration (ceil(n/stride))
     std::size_t slot_base = 0;  ///< first obs/result slot of this cell
     std::vector<double> pos_cost;
-    std::vector<Chunk> chunks;  ///< chunk plan for one iteration
+    // Store keying (meaningful only when a store is wired).
+    store::KeyBuilder key_base;        ///< shared key prefix of this cell
+    std::vector<std::uint64_t> fdig;   ///< per-position fault content digest
+    std::uint64_t profile_dig = 0;     ///< baseline schedule digest
+    bool baseline_cached = false;
+    /// Positions still to execute, per iteration; without a store (or with
+    /// store_read off) every position is a miss — the identity schedule.
+    std::vector<std::vector<std::size_t>> miss;
+    std::vector<std::vector<Chunk>> iter_chunks;  ///< chunks over miss[it]
   };
   const FaultCostModel cost_model{opt_.cost_profile, opt_.cost_traces};
   std::vector<CellPlan> plan(n_cells);
   std::size_t total_slots = 0;
-  double total_cost = 0;
-  std::uint64_t planned_faults = 0;
   for (std::size_t cell = 0; cell < n_cells; ++cell) {
     auto& cp = plan[cell];
     cp.version = opt_.versions[cell / opt_.servers.size()];
@@ -262,14 +340,29 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     cp.pos_cost.resize(cp.positions);
     for (std::size_t p = 0; p < cp.positions; ++p) {
       cp.pos_cost[p] = fault_costs[p * stride];
-      total_cost += static_cast<double>(iters) * cp.pos_cost[p];
     }
-    cp.chunks = plan_chunks(cp.pos_cost, jobs, chunk_override);
     cp.slot_base = total_slots;
     total_slots += 1 + iters * cp.positions;
-    total_cost += baseline_cost;
-    planned_faults += iters * cp.positions;
+    if (opt_.store != nullptr) {
+      cp.key_base = cell_key_base(opt_, cell_config(cp.server, opt_), *cp.fl,
+                                  cp.version, cp.server, stride, cp.positions);
+      cp.fdig.resize(cp.positions);
+      for (std::size_t p = 0; p < cp.positions; ++p) {
+        cp.fdig[p] = fault_digest(cp.fl->faults[p * stride]);
+      }
+      cp.profile_dig = profile_digest(*cp.fl, stride);
+    }
   }
+  auto fault_key = [&](const CellPlan& cp, std::size_t it, std::size_t pos) {
+    auto kb = cp.key_base;
+    kb.u64(kKindFault).u64(it).u64(pos).u64(cp.fdig[pos]);
+    return kb.finish();
+  };
+  auto baseline_key = [&](const CellPlan& cp) {
+    auto kb = cp.key_base;
+    kb.u64(kKindBaseline).f64(opt_.baseline_window_ms).u64(cp.profile_dig);
+    return kb.finish();
+  };
 
   // Observability slots mirror the result slots: one private bundle per
   // fault run (plus one per baseline), merged in slot order after the join.
@@ -278,9 +371,107 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     obs_ = std::make_unique<CampaignObs>();
     obs_->tasks.resize(total_slots);
   }
+  std::vector<ExperimentCell> cells(n_cells);
+  // One result slot per (cell, iteration, position): runs write only their
+  // own slot, which is what makes the merge independent of scheduling.
+  std::vector<std::vector<IterationResult>> fault_results(n_cells);
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    fault_results[cell].resize(iters * plan[cell].positions);
+  }
+
+  auto cell_name = [&](std::size_t cell) {
+    return std::string(os::os_version_name(plan[cell].version)) + "/" +
+           plan[cell].server;
+  };
+  auto restore_slot = [&](std::size_t slot_index, std::size_t cell,
+                          std::string label, store::RunRecord&& rec) {
+    if (!obs_) return;
+    auto& slot = obs_->tasks[slot_index];
+    slot.cell = cell_name(cell);
+    slot.label = std::move(label);
+    slot.obs = std::move(rec.obs);
+  };
+
+  // Cache resolution: fold every stored run into the slot a live run would
+  // have filled, and schedule only the misses. Records cached under a
+  // different obs/trace shape carry different keys, so a hit is always
+  // shape-compatible; the decode guard below is pure defense.
+  store::CampaignStore* st = opt_.store;
+  const store::StoreStats stats0 = st != nullptr ? st->stats()
+                                                 : store::StoreStats{};
+  std::uint64_t cached_runs = 0;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    auto& cp = plan[cell];
+    cp.miss.assign(iters, {});
+    const bool reading = st != nullptr && opt_.store_read;
+    if (reading && st->get(baseline_key(cp), payload)) {
+      try {
+        auto rec = store::decode_run_record(payload);
+        if (!opt_.obs || rec.has_obs) {
+          cells[cell].baseline = rec.result.metrics;
+          restore_slot(cp.slot_base, cell, "baseline", std::move(rec));
+          cp.baseline_cached = true;
+          ++cached_runs;
+        }
+      } catch (const store::WireError&) {
+        cp.baseline_cached = false;
+      }
+    }
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (std::size_t pos = 0; pos < cp.positions; ++pos) {
+        bool hit = false;
+        if (reading && st->get(fault_key(cp, it, pos), payload)) {
+          try {
+            auto rec = store::decode_run_record(payload);
+            if (!opt_.obs || rec.has_obs) {
+              const std::size_t idx = it * cp.positions + pos;
+              fault_results[cell][idx] = std::move(rec.result);
+              restore_slot(cp.slot_base + 1 + idx, cell,
+                           "iter" + std::to_string(it) + ".f" +
+                               std::to_string(pos * stride),
+                           std::move(rec));
+              hit = true;
+              ++cached_runs;
+            }
+          } catch (const store::WireError&) {
+            hit = false;
+          }
+        }
+        if (!hit) cp.miss[it].push_back(pos);
+      }
+    }
+    // Chunks are planned over the miss list only: cached positions never
+    // occupy scheduler slots, so their cost is subtracted before the first
+    // progress line, not amortized into the measured rate.
+    cp.iter_chunks.resize(iters);
+    for (std::size_t it = 0; it < iters; ++it) {
+      std::vector<double> miss_cost(cp.miss[it].size());
+      for (std::size_t k = 0; k < cp.miss[it].size(); ++k) {
+        miss_cost[k] = cp.pos_cost[cp.miss[it][k]];
+      }
+      cp.iter_chunks[it] = plan_chunks(miss_cost, jobs, chunk_override);
+    }
+  }
+
+  double total_cost = 0;
+  std::uint64_t planned_faults = 0;
+  for (const auto& cp : plan) {
+    if (!cp.baseline_cached) total_cost += baseline_cost;
+    for (std::size_t it = 0; it < iters; ++it) {
+      planned_faults += cp.miss[it].size();
+      for (const auto pos : cp.miss[it]) total_cost += cp.pos_cost[pos];
+    }
+  }
   if (opt_.progress != nullptr) {
     opt_.progress->set_total(planned_faults);
     opt_.progress->set_total_cost(total_cost);
+    opt_.progress->set_cached(cached_runs);
+  }
+  if (st != nullptr && cached_runs > 0) {
+    GF_INFO() << "campaign store: " << cached_runs
+              << " cached runs folded, " << planned_faults
+              << " fault runs to execute";
   }
   const auto wall0 = std::chrono::steady_clock::now();
 
@@ -296,19 +487,15 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     });
   }
 
-  std::vector<ExperimentCell> cells(n_cells);
-  // One result slot per (cell, iteration, position): runs write only their
-  // own slot, which is what makes the merge independent of scheduling.
-  std::vector<std::vector<IterationResult>> fault_results(n_cells);
-  for (std::size_t cell = 0; cell < n_cells; ++cell) {
-    fault_results[cell].resize(iters * plan[cell].positions);
-  }
   // Per-cell countdown over *work units* so campaign progress is narrated
   // live (one line per completed cell) even under steal interleaving.
   std::vector<std::atomic<std::size_t>> remaining(n_cells);
   for (std::size_t cell = 0; cell < n_cells; ++cell) {
-    remaining[cell].store(1 + iters * plan[cell].chunks.size(),
-                          std::memory_order_relaxed);
+    std::size_t units_of_cell = plan[cell].baseline_cached ? 0 : 1;
+    for (std::size_t it = 0; it < iters; ++it) {
+      units_of_cell += plan[cell].iter_chunks[it].size();
+    }
+    remaining[cell].store(units_of_cell, std::memory_order_relaxed);
   }
   std::atomic<std::size_t> cells_done{0};
 
@@ -327,10 +514,28 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
   // (offset = its absolute index, stride spans the whole faultload), seeded
   // by the task id 1 + iter*positions + pos. Nothing here depends on which
   // chunk or worker the run rides in.
+  // Post-run commit: everything the cache-resolution pass needs to fold the
+  // run back without executing it. The TaskObs copy happens at the run
+  // boundary, never on the VM hot path.
+  auto commit_run = [&](const store::ResultKey& key, std::size_t cell,
+                        const std::string& label,
+                        const IterationResult& result,
+                        const TaskObsSlot* slot) {
+    if (st == nullptr) return;
+    store::RunRecord rec;
+    rec.cell = cell_name(cell);
+    rec.label = label;
+    rec.result = result;
+    rec.has_obs = slot != nullptr;
+    if (slot != nullptr) rec.obs = slot->obs;
+    st->put(key, store::encode_run_record(rec));
+  };
   auto run_fault = [&](std::size_t cell, std::size_t it, std::size_t pos) {
     const auto& cp = plan[cell];
     const std::size_t task = 1 + it * cp.positions + pos;
     const std::size_t fault_index = pos * stride;
+    const auto label =
+        "iter" + std::to_string(it) + ".f" + std::to_string(fault_index);
     auto cfg = cell_config(cp.server, opt_);
     cfg.progress = opt_.progress;
     cfg.fault_offset = static_cast<int>(fault_index);
@@ -339,17 +544,16 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     const auto seed = derive_seed(opt_.seed, cell, task);
     TaskObsSlot* slot = obs_ ? &obs_->tasks[cp.slot_base + task] : nullptr;
     if (slot != nullptr) {
-      slot->cell =
-          std::string(os::os_version_name(cp.version)) + "/" + cp.server;
-      slot->label = "iter" + std::to_string(it) + ".f" +
-                    std::to_string(fault_index);
+      slot->cell = cell_name(cell);
+      slot->label = label;
       cfg.obs = &slot->obs;
       slot->obs.wall_start_us = wall_us();
     }
     auto ctl = build(cell, cfg);
-    fault_results[cell][it * cp.positions + pos] =
-        ctl->run_iteration(*cp.fl, seed);
+    auto& result = fault_results[cell][it * cp.positions + pos];
+    result = ctl->run_iteration(*cp.fl, seed);
     if (slot != nullptr) slot->obs.wall_end_us = wall_us();
+    if (st != nullptr) commit_run(fault_key(cp, it, pos), cell, label, result, slot);
   };
   auto run_baseline = [&](std::size_t cell) {
     const auto& cp = plan[cell];
@@ -358,8 +562,7 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     const auto seed = derive_seed(opt_.seed, cell, 0);
     TaskObsSlot* slot = obs_ ? &obs_->tasks[cp.slot_base] : nullptr;
     if (slot != nullptr) {
-      slot->cell =
-          std::string(os::os_version_name(cp.version)) + "/" + cp.server;
+      slot->cell = cell_name(cell);
       slot->label = "baseline";
       cfg.obs = &slot->obs;
       slot->obs.wall_start_us = wall_us();
@@ -368,37 +571,55 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     cells[cell].baseline =
         ctl->run_profile_mode(*cp.fl, opt_.baseline_window_ms, seed);
     if (slot != nullptr) slot->obs.wall_end_us = wall_us();
+    if (st != nullptr) {
+      IterationResult rec;
+      rec.metrics = cells[cell].baseline;
+      commit_run(baseline_key(cp), cell, "baseline", rec, slot);
+    }
+  };
+  auto cell_complete = [&](std::size_t cell) {
+    const auto done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;
+    const auto name = cell_name(cell);
+    if (opt_.progress != nullptr) {
+      opt_.progress->cell_done(name, done, n_cells);
+    } else {
+      GF_INFO() << "campaign cell done: " << name << " (" << done << "/"
+                << n_cells << " cells)";
+    }
   };
   auto unit_done = [&](std::size_t cell, double cost) {
     if (opt_.progress != nullptr) opt_.progress->add_cost(cost);
     if (remaining[cell].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      const auto done = cells_done.fetch_add(1, std::memory_order_relaxed) + 1;
-      const auto name = std::string(os::os_version_name(plan[cell].version)) +
-                        "/" + plan[cell].server;
-      if (opt_.progress != nullptr) {
-        opt_.progress->cell_done(name, done, n_cells);
-      } else {
-        GF_INFO() << "campaign cell done: " << name << " (" << done << "/"
-                  << n_cells << " cells)";
-      }
+      cell_complete(cell);
     }
   };
+  // Cells fully satisfied from the store never reach the scheduler; narrate
+  // them here so the cell countdown stays complete on resume.
+  for (std::size_t cell = 0; cell < n_cells; ++cell) {
+    if (remaining[cell].load(std::memory_order_relaxed) == 0) {
+      cell_complete(cell);
+    }
+  }
 
   // Work units, in deterministic construction order (cell-major, baseline
-  // first, then iteration-major chunks). The scheduler is free to run them
-  // in any order on any worker — units only write their own slots.
+  // first, then iteration-major chunks over the miss lists). The scheduler
+  // is free to run them in any order on any worker — units only write their
+  // own slots.
   std::vector<WorkUnit> units;
   for (std::size_t cell = 0; cell < n_cells; ++cell) {
-    units.push_back({[&unit_done, &run_baseline, cell, baseline_cost] {
-                       run_baseline(cell);
-                       unit_done(cell, baseline_cost);
-                     },
-                     baseline_cost});
+    if (!plan[cell].baseline_cached) {
+      units.push_back({[&unit_done, &run_baseline, cell, baseline_cost] {
+                         run_baseline(cell);
+                         unit_done(cell, baseline_cost);
+                       },
+                       baseline_cost});
+    }
     for (std::size_t it = 0; it < iters; ++it) {
-      for (const auto& c : plan[cell].chunks) {
-        units.push_back({[&unit_done, &run_fault, cell, it, c] {
+      for (const auto& c : plan[cell].iter_chunks[it]) {
+        units.push_back({[&unit_done, &run_fault, &plan, cell, it, c] {
                            for (std::size_t k = 0; k < c.count; ++k) {
-                             run_fault(cell, it, c.first + k);
+                             run_fault(cell, it,
+                                       plan[cell].miss[it][c.first + k]);
                            }
                            unit_done(cell, c.cost);
                          },
@@ -449,6 +670,15 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
         obs_->metrics.gauge("snapshot.bringup_cycles", snap->capture_cycles);
       }
     }
+  }
+  store_stats_.reset();
+  if (st != nullptr) {
+    store_stats_ = std::make_unique<store::StoreStats>(
+        st->stats().delta(stats0));
+    GF_INFO() << "campaign store: " << store_stats_->hits << " hits, "
+              << store_stats_->misses << " misses, " << store_stats_->puts
+              << " puts; " << store_stats_->records << " live records ("
+              << store_stats_->bytes << " payload bytes)";
   }
   if (opt_.progress != nullptr) opt_.progress->finish();
   return cells;

@@ -37,6 +37,7 @@
 #include "depbench/scheduler.h"
 #include "depbench/task_obs.h"
 #include "obs/progress.h"
+#include "store/store.h"
 #include "swfit/faultload.h"
 
 namespace gf::depbench {
@@ -92,6 +93,16 @@ struct RunnerOptions {
   /// Optional live progress reporter (rate-limited stderr, ETA). Never
   /// feeds the deterministic artifacts.
   obs::ProgressReporter* progress = nullptr;
+  /// Optional persistent result store (src/store). When wired, every
+  /// single-fault run and baseline is committed under its content-addressed
+  /// key after execution, and — unless `store_read` is off — consulted
+  /// before scheduling: cached runs fold into the same preallocated slots a
+  /// live run would fill, so the merged campaign artifacts are
+  /// byte-identical for ANY cache-hit pattern. Borrowed, not owned.
+  store::CampaignStore* store = nullptr;
+  /// false = --no-cache: ignore cached results (everything re-executes and
+  /// re-commits); the store is still written.
+  bool store_read = true;
 };
 
 /// Per-task seed: a pure function of (campaign seed, cell, task) so a task's
@@ -190,6 +201,14 @@ class CampaignRunner {
   /// it never feeds the deterministic artifacts — see SchedStats.
   const SchedStats* scheduler_stats() const noexcept { return sched_.get(); }
 
+  /// Store traffic of the last run_campaign() (hit/miss/put deltas plus the
+  /// live index snapshot); null unless options().store was wired. Like
+  /// SchedStats, wall-state-coupled — never part of the deterministic
+  /// artifacts.
+  const store::StoreStats* store_stats() const noexcept {
+    return store_stats_.get();
+  }
+
  private:
   void scan_faultloads();
   const swfit::Faultload& faultload_for(os::OsVersion v) const;
@@ -201,6 +220,7 @@ class CampaignRunner {
   std::vector<std::pair<os::OsVersion, swfit::Faultload>> faultloads_;
   std::unique_ptr<CampaignObs> obs_;
   std::unique_ptr<SchedStats> sched_;
+  std::unique_ptr<store::StoreStats> store_stats_;
 };
 
 }  // namespace gf::depbench

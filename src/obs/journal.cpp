@@ -36,6 +36,17 @@ std::vector<Event> Journal::events() const {
   return out;
 }
 
+Journal Journal::restore(std::size_t capacity, std::uint64_t dropped,
+                         std::vector<Event> events) {
+  Journal j(capacity);
+  // The ring is handed over in chronological order with next_ = 0, which
+  // events() walks back out unchanged; dropped_ restores the seq offset.
+  if (events.size() > j.capacity_) events.resize(j.capacity_);
+  j.ring_ = std::move(events);
+  j.dropped_ = dropped;
+  return j;
+}
+
 void write_jsonl(std::ostream& os, const std::string& track, const Journal& j) {
   std::uint64_t seq = j.dropped();  // dropped events leave a visible gap
   for (const auto& e : j.events()) {

@@ -54,6 +54,13 @@ class Journal {
   /// Events in chronological (append) order, oldest surviving entry first.
   std::vector<Event> events() const;
 
+  /// Reconstructs a journal from persisted state (campaign-store resume):
+  /// `events` must be in chronological order and `dropped` restores the
+  /// seq-gap accounting of a ring that overflowed, so the rendered JSONL of
+  /// a restored journal is byte-identical to the original's.
+  static Journal restore(std::size_t capacity, std::uint64_t dropped,
+                         std::vector<Event> events);
+
   std::size_t size() const noexcept {
     return ring_.size() < capacity_ ? ring_.size() : capacity_;
   }

@@ -33,6 +33,10 @@ void ProgressReporter::add_cost(double cost) noexcept {
   maybe_report();
 }
 
+void ProgressReporter::set_cached(std::uint64_t cached_runs) noexcept {
+  cached_.store(cached_runs, std::memory_order_relaxed);
+}
+
 void ProgressReporter::add_faults(std::uint64_t n) noexcept {
   done_.fetch_add(n, std::memory_order_relaxed);
   maybe_report();
@@ -90,6 +94,16 @@ void ProgressReporter::cell_done(const std::string& cell, std::size_t done,
 void ProgressReporter::finish() noexcept {
   const double elapsed = now_s() - start_s_;
   const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::uint64_t cached = cached_.load(std::memory_order_relaxed);
+  if (cached > 0) {
+    std::fprintf(stderr,
+                 "[progress] complete: %llu faults in %.1fs (%.1f/s), "
+                 "%llu cached runs folded\n",
+                 static_cast<unsigned long long>(done), elapsed,
+                 elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0,
+                 static_cast<unsigned long long>(cached));
+    return;
+  }
   std::fprintf(stderr, "[progress] complete: %llu faults in %.1fs (%.1f/s)\n",
                static_cast<unsigned long long>(done), elapsed,
                elapsed > 0 ? static_cast<double>(done) / elapsed : 0.0);

@@ -33,6 +33,13 @@ class ProgressReporter {
   /// completes, with that unit's estimated cost.
   void add_cost(double cost) noexcept;
 
+  /// Runs satisfied from the campaign store before scheduling. Cached work
+  /// is subtracted from the totals *up front* (the runner announces only
+  /// the cost/count of runs it will actually execute), so the ETA never
+  /// amortizes instantly-folded cache hits into the measured rate; this
+  /// count exists purely so the printed lines can say how much was skipped.
+  void set_cached(std::uint64_t cached_runs) noexcept;
+
   /// Called by controllers per injected fault; prints at most once per
   /// interval.
   void add_faults(std::uint64_t n = 1) noexcept;
@@ -56,6 +63,7 @@ class ProgressReporter {
   const double min_interval_s_;
   std::atomic<std::uint64_t> total_{0};
   std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> cached_{0};
   /// Cost accounting in fixed-point milli-units so the accumulate is a plain
   /// atomic add (no atomic<double> RMW needed).
   std::atomic<std::uint64_t> total_cost_m_{0};

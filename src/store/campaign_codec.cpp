@@ -1,0 +1,233 @@
+#include "store/campaign_codec.h"
+
+#include "store/key.h"
+#include "store/wire.h"
+
+namespace gf::store {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x31524647;  // "GFR1" little-endian
+
+void encode_window(BufWriter& w, const spec::WindowMetrics& m) {
+  w.f64(m.duration_ms);
+  w.u64(m.ops);
+  w.u64(m.errors);
+  w.u64(m.bytes);
+  w.f64(m.thr);
+  w.f64(m.rtm_ms);
+  w.f64(m.er_pct);
+  w.i32(m.spc);
+  w.f64(m.cc_pct);
+}
+
+spec::WindowMetrics decode_window(BufReader& r) {
+  spec::WindowMetrics m;
+  m.duration_ms = r.f64();
+  m.ops = r.u64();
+  m.errors = r.u64();
+  m.bytes = r.u64();
+  m.thr = r.f64();
+  m.rtm_ms = r.f64();
+  m.er_pct = r.f64();
+  m.spc = r.i32();
+  m.cc_pct = r.f64();
+  return m;
+}
+
+void encode_histogram(BufWriter& w, const obs::Histogram& h) {
+  w.u64(h.count);
+  w.u64(h.sum);
+  w.u64(h.min);
+  w.u64(h.max);
+  for (const auto b : h.buckets) w.u64(b);
+}
+
+obs::Histogram decode_histogram(BufReader& r) {
+  obs::Histogram h;
+  h.count = r.u64();
+  h.sum = r.u64();
+  h.min = r.u64();
+  h.max = r.u64();
+  for (auto& b : h.buckets) b = r.u64();
+  return h;
+}
+
+void encode_result(BufWriter& w, const depbench::IterationResult& res) {
+  encode_window(w, res.metrics);
+  w.i32(res.counters.mis);
+  w.i32(res.counters.kns);
+  w.i32(res.counters.kcp);
+  w.i32(res.counters.faults_injected);
+  w.i32(res.counters.self_restarts);
+  w.u32(static_cast<std::uint32_t>(res.activations.size()));
+  for (const auto& a : res.activations) {
+    w.u32(a.fault_index);
+    w.u8(static_cast<std::uint8_t>(a.type));
+    w.str(a.function);
+    w.u64(a.hits);
+    w.u64(a.first_hit_cycle);
+    w.u64(a.edge_count);
+    w.u32(static_cast<std::uint32_t>(a.edges.size()));
+    for (const auto& e : a.edges) {
+      w.u64(e.from);
+      w.u64(e.to);
+    }
+    w.u8(static_cast<std::uint8_t>(a.outcome));
+  }
+}
+
+depbench::IterationResult decode_result(BufReader& r) {
+  depbench::IterationResult res;
+  res.metrics = decode_window(r);
+  res.counters.mis = r.i32();
+  res.counters.kns = r.i32();
+  res.counters.kcp = r.i32();
+  res.counters.faults_injected = r.i32();
+  res.counters.self_restarts = r.i32();
+  const auto n = r.u32();
+  res.activations.resize(n);
+  for (auto& a : res.activations) {
+    a.fault_index = r.u32();
+    a.type = static_cast<swfit::FaultType>(r.u8());
+    a.function = r.str();
+    a.hits = r.u64();
+    a.first_hit_cycle = r.u64();
+    a.edge_count = r.u64();
+    a.edges.resize(r.u32());
+    for (auto& e : a.edges) {
+      e.from = r.u64();
+      e.to = r.u64();
+    }
+    a.outcome = static_cast<trace::Outcome>(r.u8());
+  }
+  return res;
+}
+
+void encode_registry(BufWriter& w, const obs::Registry& reg) {
+  w.u32(static_cast<std::uint32_t>(reg.counters().size()));
+  for (const auto& [name, v] : reg.counters()) {
+    w.str(name);
+    w.u64(v);
+  }
+  w.u32(static_cast<std::uint32_t>(reg.gauges().size()));
+  for (const auto& [name, v] : reg.gauges()) {
+    w.str(name);
+    w.u64(v);
+  }
+  w.u32(static_cast<std::uint32_t>(reg.histograms().size()));
+  for (const auto& [name, h] : reg.histograms()) {
+    w.str(name);
+    encode_histogram(w, h);
+  }
+}
+
+obs::Registry decode_registry(BufReader& r) {
+  obs::Registry reg;
+  for (std::uint32_t n = r.u32(); n > 0; --n) {
+    const auto name = r.str();
+    reg.add(name, r.u64());
+  }
+  for (std::uint32_t n = r.u32(); n > 0; --n) {
+    const auto name = r.str();
+    reg.gauge(name, r.u64());
+  }
+  for (std::uint32_t n = r.u32(); n > 0; --n) {
+    const auto name = r.str();
+    reg.histogram(name) = decode_histogram(r);
+  }
+  return reg;
+}
+
+void encode_obs(BufWriter& w, const depbench::TaskObs& obs) {
+  encode_registry(w, obs.metrics);
+  w.u32(static_cast<std::uint32_t>(obs.api.functions.size()));
+  for (const auto& [name, fn] : obs.api.functions) {
+    w.str(name);
+    w.u64(fn.calls);
+    w.u64(fn.errors);
+    w.u64(fn.crashes);
+    w.u64(fn.hangs);
+    encode_histogram(w, fn.cycles);
+  }
+  w.u64(obs.journal.capacity());
+  w.u64(obs.journal.dropped());
+  const auto events = obs.journal.events();
+  w.u32(static_cast<std::uint32_t>(events.size()));
+  for (const auto& e : events) {
+    w.u8(static_cast<std::uint8_t>(e.phase));
+    w.str(e.name);
+    w.f64(e.sim_ms);
+    w.u64(e.cycle);
+    w.str(e.args);
+  }
+}
+
+depbench::TaskObs decode_obs(BufReader& r) {
+  depbench::TaskObs obs;
+  obs.metrics = decode_registry(r);
+  for (std::uint32_t n = r.u32(); n > 0; --n) {
+    const auto name = r.str();
+    auto& fn = obs.api.functions[name];
+    fn.calls = r.u64();
+    fn.errors = r.u64();
+    fn.crashes = r.u64();
+    fn.hangs = r.u64();
+    fn.cycles = decode_histogram(r);
+  }
+  const auto capacity = static_cast<std::size_t>(r.u64());
+  const auto dropped = r.u64();
+  std::vector<obs::Event> events(r.u32());
+  for (auto& e : events) {
+    e.phase = static_cast<obs::Phase>(r.u8());
+    e.name = r.str();
+    e.sim_ms = r.f64();
+    e.cycle = r.u64();
+    e.args = r.str();
+  }
+  obs.journal = obs::Journal::restore(capacity, dropped, std::move(events));
+  return obs;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_run_record(const RunRecord& rec) {
+  BufWriter w;
+  w.u32(kRecordMagic);
+  w.u32(kResultSchema);
+  w.str(rec.cell);
+  w.str(rec.label);
+  encode_result(w, rec.result);
+  w.u8(rec.has_obs ? 1 : 0);
+  if (rec.has_obs) encode_obs(w, rec.obs);
+  return w.take();
+}
+
+RunRecord decode_run_record(const std::vector<std::uint8_t>& payload) {
+  BufReader r(payload.data(), payload.size());
+  if (r.u32() != kRecordMagic) throw WireError("bad record magic");
+  if (r.u32() != kResultSchema) throw WireError("record schema mismatch");
+  RunRecord rec;
+  rec.cell = r.str();
+  rec.label = r.str();
+  rec.result = decode_result(r);
+  rec.has_obs = r.u8() != 0;
+  if (rec.has_obs) rec.obs = decode_obs(r);
+  if (!r.done()) throw WireError("trailing bytes in record");
+  return rec;
+}
+
+bool peek_run_meta(const std::vector<std::uint8_t>& payload, std::string& cell,
+                   std::string& label) {
+  try {
+    BufReader r(payload.data(), payload.size());
+    if (r.u32() != kRecordMagic || r.u32() != kResultSchema) return false;
+    cell = r.str();
+    label = r.str();
+    return true;
+  } catch (const WireError&) {
+    return false;
+  }
+}
+
+}  // namespace gf::store

@@ -1,0 +1,49 @@
+// Serialization between campaign run results and store payloads.
+//
+// One store record carries everything the runner folds into a result slot:
+// the IterationResult (window metrics, injector-monitor counters, activation
+// records) plus — when the campaign ran with observability on — the task's
+// full TaskObs bundle (registry, API sink, journal). Persisting the obs
+// bundle is what keeps the *merged* campaign artifacts byte-identical for
+// any cache-hit pattern: a cached run must contribute the exact registry
+// counters and journal events the live run would have.
+//
+// The encoding is canonical (store/wire.h): encoding a decoded record
+// reproduces the original bytes, and doubles round-trip bit-exactly. The
+// wall_start/wall_end fields of TaskObs are deliberately NOT persisted —
+// they are host wall-clock (Chrome-trace view only) and never enter the
+// deterministic artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "depbench/controller.h"
+#include "depbench/task_obs.h"
+#include "store/wire.h"  // WireError: thrown by decode_run_record
+
+namespace gf::store {
+
+/// One cached campaign run. `label` follows the runner's slot labels
+/// ("baseline" or "iter<I>.f<FAULT_INDEX>"); baseline records use only
+/// result.metrics.
+struct RunRecord {
+  std::string cell;   ///< "VOS-2000/apex"
+  std::string label;  ///< "baseline" or "iter0.f12"
+  depbench::IterationResult result;
+  bool has_obs = false;
+  depbench::TaskObs obs;  ///< valid iff has_obs (wall fields zeroed)
+};
+
+std::vector<std::uint8_t> encode_run_record(const RunRecord& rec);
+
+/// Throws WireError on any truncation/corruption — the store's checksums
+/// make that unreachable for committed records, but decode stays defensive.
+RunRecord decode_run_record(const std::vector<std::uint8_t>& payload);
+
+/// Cheap header-only peek (cell + label) for `gfbench store ls`.
+bool peek_run_meta(const std::vector<std::uint8_t>& payload, std::string& cell,
+                   std::string& label);
+
+}  // namespace gf::store

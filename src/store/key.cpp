@@ -1,0 +1,77 @@
+#include "store/key.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace gf::store {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+// Second stream starts from a different basis so the two 64-bit halves are
+// not trivially correlated (same trick as double hashing).
+constexpr std::uint64_t kFnvOffset2 = 0x6C62272E07BB0142ULL;
+
+// Field-type tags keep the digest injective over field sequences.
+enum Tag : std::uint8_t { kTagU64 = 1, kTagF64 = 2, kTagBytes = 3 };
+
+std::uint64_t fold_one(std::uint64_t h, std::uint8_t byte) noexcept {
+  return (h ^ byte) * kFnvPrime;
+}
+
+}  // namespace
+
+std::string ResultKey::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+KeyBuilder::KeyBuilder() : hi_(kFnvOffset), lo_(kFnvOffset2) {}
+
+void KeyBuilder::fold(const std::uint8_t* data, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    hi_ = fold_one(hi_, data[i]);
+    lo_ = fold_one(lo_, data[i]);
+  }
+}
+
+KeyBuilder& KeyBuilder::u64(std::uint64_t v) {
+  std::uint8_t buf[9] = {kTagU64};
+  for (int i = 0; i < 8; ++i) buf[1 + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  fold(buf, sizeof buf);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::f64(double v) {
+  std::uint8_t buf[9] = {kTagF64};
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) buf[1 + i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  fold(buf, sizeof buf);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::str(std::string_view s) {
+  return bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+KeyBuilder& KeyBuilder::bytes(const std::uint8_t* data, std::size_t n) {
+  std::uint8_t head[9] = {kTagBytes};
+  for (int i = 0; i < 8; ++i) {
+    head[1 + i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(n) >> (8 * i));
+  }
+  fold(head, sizeof head);
+  fold(data, n);
+  return *this;
+}
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t i = 0; i < n; ++i) h = fold_one(h, data[i]);
+  return h;
+}
+
+}  // namespace gf::store

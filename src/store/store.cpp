@@ -1,0 +1,354 @@
+#include "store/store.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "store/wire.h"
+#include "util/log.h"
+
+namespace gf::store {
+
+namespace {
+
+// WAL entry: magic + key + slot + payload checksum + entry checksum over
+// everything preceding. Fixed size so a torn tail is detected by length
+// before it is ever parsed.
+constexpr std::uint32_t kWalMagic = 0x31574647;  // "GFW1" little-endian
+constexpr std::size_t kWalEntrySize = 48;
+
+struct WalEntry {
+  ResultKey key;
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  std::uint64_t payload_fnv = 0;
+};
+
+std::vector<std::uint8_t> encode_wal_entry(const WalEntry& e) {
+  BufWriter w;
+  w.u32(kWalMagic);
+  w.u64(e.key.hi);
+  w.u64(e.key.lo);
+  w.u64(e.offset);
+  w.u32(e.length);
+  w.u64(e.payload_fnv);
+  w.u64(fnv1a(w.data().data(), w.data().size()));
+  return w.take();
+}
+
+/// Decodes one entry; false when the magic or entry checksum is wrong.
+bool decode_wal_entry(const std::uint8_t* p, WalEntry& out) {
+  BufReader r(p, kWalEntrySize);
+  if (r.u32() != kWalMagic) return false;
+  out.key.hi = r.u64();
+  out.key.lo = r.u64();
+  out.offset = r.u64();
+  out.length = r.u32();
+  out.payload_fnv = r.u64();
+  return r.u64() == fnv1a(p, kWalEntrySize - 8);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::vector<std::uint8_t> data;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return data;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size > 0) {
+    data.resize(static_cast<std::size_t>(size));
+    std::fseek(f, 0, SEEK_SET);
+    if (std::fread(data.data(), 1, data.size(), f) != data.size()) {
+      data.clear();
+    }
+  }
+  std::fclose(f);
+  return data;
+}
+
+void truncate_or_throw(const std::string& path, std::uint64_t len) {
+  if (::truncate(path.c_str(), static_cast<off_t>(len)) != 0) {
+    throw StoreError("store: cannot truncate " + path + ": " +
+                     std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+StoreStats StoreStats::delta(const StoreStats& base) const noexcept {
+  StoreStats d = *this;
+  d.hits -= base.hits;
+  d.misses -= base.misses;
+  d.puts -= base.puts;
+  d.bytes_read -= base.bytes_read;
+  d.bytes_written -= base.bytes_written;
+  return d;
+}
+
+void StoreStats::export_into(obs::Registry& r) const {
+  r.add("store.hits", hits);
+  r.add("store.misses", misses);
+  r.add("store.puts", puts);
+  r.add("store.bytes_read", bytes_read);
+  r.add("store.bytes_written", bytes_written);
+  r.gauge("store.records", records);
+  r.gauge("store.bytes", bytes);
+  r.add("store.recovered_records", recovered_records);
+  r.add("store.torn_bytes_dropped", torn_bytes_dropped);
+}
+
+std::string StoreStats::to_json() const {
+  auto n = [](std::uint64_t v) { return std::to_string(v); };
+  return "{\"schema\": \"genfault-store/1\", \"hits\": " + n(hits) +
+         ", \"misses\": " + n(misses) + ", \"puts\": " + n(puts) +
+         ", \"bytes_read\": " + n(bytes_read) +
+         ", \"bytes_written\": " + n(bytes_written) +
+         ", \"records\": " + n(records) + ", \"bytes\": " + n(bytes) +
+         ", \"recovered_records\": " + n(recovered_records) +
+         ", \"torn_bytes_dropped\": " + n(torn_bytes_dropped) + "}";
+}
+
+CampaignStore::CampaignStore(std::string dir) : dir_(std::move(dir)) {
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+    throw StoreError("store: cannot create " + dir_ + ": " +
+                     std::strerror(errno));
+  }
+  segment_path_ = dir_ + "/segment.gfs";
+  wal_path_ = dir_ + "/wal.gfj";
+  recover();
+  open_append_handles();
+}
+
+CampaignStore::~CampaignStore() { close_handles(); }
+
+void CampaignStore::close_handles() {
+  if (segment_ != nullptr) std::fclose(segment_);
+  if (wal_ != nullptr) std::fclose(wal_);
+  segment_ = nullptr;
+  wal_ = nullptr;
+}
+
+void CampaignStore::open_append_handles() {
+  segment_ = std::fopen(segment_path_.c_str(), "ab");
+  wal_ = std::fopen(wal_path_.c_str(), "ab");
+  if (segment_ == nullptr || wal_ == nullptr) {
+    close_handles();
+    throw StoreError("store: cannot open files in " + dir_);
+  }
+}
+
+void CampaignStore::recover() {
+  const auto wal = read_file(wal_path_);
+  const auto segment = read_file(segment_path_);
+
+  index_.clear();
+  commit_order_.clear();
+  std::uint64_t good_entries = 0;
+  std::uint64_t segment_good_end = 0;
+
+  for (std::size_t at = 0; at + kWalEntrySize <= wal.size();
+       at += kWalEntrySize) {
+    WalEntry e;
+    if (!decode_wal_entry(wal.data() + at, e)) break;
+    // The payload must be fully present and intact: a commit whose segment
+    // bytes were torn (crash between the two appends cannot cause this, but
+    // external corruption can) invalidates this entry and every later one —
+    // recovery is strictly a tail truncation, never a hole punch.
+    if (e.offset + e.length > segment.size()) break;
+    if (fnv1a(segment.data() + e.offset, e.length) != e.payload_fnv) break;
+    const Slot slot{e.offset, e.length, e.payload_fnv};
+    auto [it, inserted] = index_.insert_or_assign(e.key, slot);
+    (void)it;
+    if (!inserted) {
+      commit_order_.erase(
+          std::find(commit_order_.begin(), commit_order_.end(), e.key));
+    }
+    commit_order_.push_back(e.key);
+    ++good_entries;
+    segment_good_end = std::max(segment_good_end, e.offset + e.length);
+  }
+
+  const std::uint64_t wal_good_end = good_entries * kWalEntrySize;
+  const std::uint64_t torn = (wal.size() - wal_good_end) +
+                             (segment.size() > segment_good_end
+                                  ? segment.size() - segment_good_end
+                                  : 0);
+  if (wal_good_end < wal.size()) truncate_or_throw(wal_path_, wal_good_end);
+  if (segment_good_end < segment.size()) {
+    truncate_or_throw(segment_path_, segment_good_end);
+  }
+  segment_end_ = segment_good_end;
+
+  stats_.recovered_records = good_entries;
+  stats_.torn_bytes_dropped = torn;
+  stats_.records = index_.size();
+  stats_.bytes = 0;
+  for (const auto& [key, slot] : index_) stats_.bytes += slot.length;
+  if (torn > 0) {
+    GF_INFO() << "store " << dir_ << ": recovered " << good_entries
+              << " records, truncated " << torn << " torn tail bytes";
+  }
+}
+
+bool CampaignStore::read_payload(const Slot& s,
+                                 std::vector<std::uint8_t>& payload) const {
+  std::FILE* f = std::fopen(segment_path_.c_str(), "rb");
+  if (f == nullptr) return false;
+  payload.resize(s.length);
+  bool ok = std::fseek(f, static_cast<long>(s.offset), SEEK_SET) == 0 &&
+            std::fread(payload.data(), 1, s.length, f) == s.length;
+  std::fclose(f);
+  ok = ok && fnv1a(payload.data(), payload.size()) == s.payload_fnv;
+  if (!ok) payload.clear();
+  return ok;
+}
+
+bool CampaignStore::get(const ResultKey& key,
+                        std::vector<std::uint8_t>& payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end() || !read_payload(it->second, payload)) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  stats_.bytes_read += payload.size();
+  return true;
+}
+
+bool CampaignStore::contains(const ResultKey& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(key) > 0;
+}
+
+void CampaignStore::put(const ResultKey& key,
+                        const std::vector<std::uint8_t>& payload) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  WalEntry e{key, segment_end_, static_cast<std::uint32_t>(payload.size()),
+             fnv1a(payload.data(), payload.size())};
+  // Commit protocol: payload first, flush; WAL entry second, flush. Until
+  // the WAL flush lands the record does not exist, so any crash point
+  // leaves a store that recovery restores to the previous commit.
+  if (std::fwrite(payload.data(), 1, payload.size(), segment_) !=
+          payload.size() ||
+      std::fflush(segment_) != 0) {
+    throw StoreError("store: segment append failed in " + dir_);
+  }
+  const auto entry = encode_wal_entry(e);
+  if (std::fwrite(entry.data(), 1, entry.size(), wal_) != entry.size() ||
+      std::fflush(wal_) != 0) {
+    throw StoreError("store: wal append failed in " + dir_);
+  }
+  segment_end_ += payload.size();
+
+  const Slot slot{e.offset, e.length, e.payload_fnv};
+  auto [it, inserted] = index_.insert_or_assign(key, slot);
+  if (!inserted) {
+    commit_order_.erase(
+        std::find(commit_order_.begin(), commit_order_.end(), key));
+  } else {
+    ++stats_.records;
+  }
+  commit_order_.push_back(key);
+  stats_.bytes = 0;
+  for (const auto& [k, s] : index_) stats_.bytes += s.length;
+  ++stats_.puts;
+  stats_.bytes_written += payload.size() + entry.size();
+  ++commit_count_;
+  if (commit_hook_) commit_hook_(commit_count_);
+  (void)it;
+}
+
+std::vector<RecordInfo> CampaignStore::list() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RecordInfo> out;
+  out.reserve(commit_order_.size());
+  for (const auto& key : commit_order_) {
+    const auto& slot = index_.at(key);
+    out.push_back({key, slot.offset, slot.length});
+  }
+  return out;
+}
+
+std::size_t CampaignStore::verify() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t corrupt = 0;
+  std::vector<std::uint8_t> payload;
+  for (const auto& [key, slot] : index_) {
+    if (!read_payload(slot, payload)) ++corrupt;
+  }
+  return corrupt;
+}
+
+std::size_t CampaignStore::gc(std::uint64_t max_bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Live set in commit order; evict oldest-first until under budget.
+  std::vector<ResultKey> keep = commit_order_;
+  std::uint64_t live_bytes = 0;
+  for (const auto& key : keep) live_bytes += index_.at(key).length;
+  std::size_t evict = 0;
+  if (max_bytes > 0) {
+    while (evict < keep.size() && live_bytes > max_bytes) {
+      live_bytes -= index_.at(keep[evict]).length;
+      ++evict;
+    }
+  }
+  // Compact into tmp files, then atomically swap both in. A crash between
+  // the two renames leaves a new segment with the old WAL — every WAL entry
+  // then fails its payload checksum against the rewritten segment, so
+  // recovery degrades to an empty (not corrupt) store.
+  const std::string seg_tmp = segment_path_ + ".tmp";
+  const std::string wal_tmp = wal_path_ + ".tmp";
+  std::FILE* seg = std::fopen(seg_tmp.c_str(), "wb");
+  std::FILE* wal = std::fopen(wal_tmp.c_str(), "wb");
+  if (seg == nullptr || wal == nullptr) {
+    if (seg != nullptr) std::fclose(seg);
+    if (wal != nullptr) std::fclose(wal);
+    throw StoreError("store: cannot create gc tmp files in " + dir_);
+  }
+  std::map<ResultKey, Slot> new_index;
+  std::vector<ResultKey> new_order;
+  std::uint64_t offset = 0;
+  bool ok = true;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t i = evict; i < keep.size() && ok; ++i) {
+    const auto& key = keep[i];
+    const auto& slot = index_.at(key);
+    ok = read_payload(slot, payload);
+    if (!ok) break;
+    ok = std::fwrite(payload.data(), 1, payload.size(), seg) == payload.size();
+    const auto entry = encode_wal_entry(
+        {key, offset, slot.length, slot.payload_fnv});
+    ok = ok && std::fwrite(entry.data(), 1, entry.size(), wal) == entry.size();
+    new_index.insert_or_assign(key, Slot{offset, slot.length, slot.payload_fnv});
+    new_order.push_back(key);
+    offset += slot.length;
+  }
+  ok = ok && std::fflush(seg) == 0 && std::fflush(wal) == 0;
+  std::fclose(seg);
+  std::fclose(wal);
+  if (!ok) throw StoreError("store: gc rewrite failed in " + dir_);
+
+  close_handles();
+  if (std::rename(seg_tmp.c_str(), segment_path_.c_str()) != 0 ||
+      std::rename(wal_tmp.c_str(), wal_path_.c_str()) != 0) {
+    throw StoreError("store: gc rename failed in " + dir_);
+  }
+  const std::size_t dropped = commit_order_.size() - new_order.size();
+  index_ = std::move(new_index);
+  commit_order_ = std::move(new_order);
+  segment_end_ = offset;
+  stats_.records = index_.size();
+  stats_.bytes = offset;
+  open_append_handles();
+  return dropped;
+}
+
+StoreStats CampaignStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gf::store

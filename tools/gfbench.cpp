@@ -5,16 +5,22 @@
 //   gfbench campaign --os 2000|xp --server apex|abyssal
 //                    [--faultload FILE] [--stride K] [--scale S]
 //                    [--iterations N] [--seed S] [--jobs J] [--chunk N]
-//                    [--no-steal]
+//                    [--no-steal] [--store DIR] [--resume] [--no-cache]
+//   gfbench store    <ls|verify|gc> --store DIR [--max-bytes N]
 //   gfbench show     --faultload FILE [--limit N]
 //
 // `scan` writes a portable faultload file; `campaign` can consume it later
 // (possibly on another machine — the digest check refuses a mismatched OS
 // build), which is exactly the paper's repeatable/portable faultload story.
+// `--store` adds the crash-safe result cache (src/store): interrupted
+// campaigns resume with `--resume`, unchanged faults are never re-executed,
+// and the merged artifacts stay byte-identical for any cache-hit pattern.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -22,6 +28,8 @@
 #include "depbench/report.h"
 #include "depbench/tuner.h"
 #include "isa/disassembler.h"
+#include "store/campaign_codec.h"
+#include "store/store.h"
 #include "swfit/scanner.h"
 #include "util/log.h"
 
@@ -31,15 +39,18 @@ using namespace gf;
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: gfbench <scan|profile|campaign|show> [options]\n"
+               "usage: gfbench <scan|profile|campaign|store|show> [options]\n"
                "  scan     --os 2000|xp [--out FILE] [--all-symbols]\n"
                "  profile  --os 2000|xp [--servers apex,abyssal,...]\n"
                "  campaign --os 2000|xp --server NAME [--faultload FILE]\n"
                "           [--stride K] [--scale S] [--iterations N] [--seed S]\n"
                "           [--jobs J] [--chunk N] [--no-steal]\n"
+               "           [--store DIR] [--resume] [--no-cache]\n"
+               "           [--store-json FILE] [--crash-after-puts N]\n"
                "           [--metrics-json FILE] [--html-report FILE]\n"
                "           [--journal-out FILE] [--chrome-trace FILE]\n"
                "           [--sched-json FILE]\n"
+               "  store    <ls|verify|gc> --store DIR [--max-bytes N]\n"
                "  show     --faultload FILE [--limit N]\n");
   std::exit(2);
 }
@@ -49,7 +60,8 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
   for (int i = from; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) usage();
     const std::string key = argv[i] + 2;
-    if (key == "all-symbols" || key == "no-steal") {
+    if (key == "all-symbols" || key == "no-steal" || key == "resume" ||
+        key == "no-cache") {
       flags[key] = "1";
     } else if (i + 1 < argc) {
       flags[key] = argv[++i];
@@ -172,9 +184,43 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
   ropt.jobs = flags.count("jobs") ? std::stoi(flags.at("jobs")) : 0;
   ropt.chunk = flags.count("chunk") ? std::stoi(flags.at("chunk")) : 0;
   ropt.steal = !flags.count("no-steal");
+  if (flags.count("shards")) {
+    std::fprintf(stderr,
+                 "warning: --shards is deprecated, use --chunk (both map onto "
+                 "the same decomposition; results are identical)\n");
+    ropt.shards = std::stoi(flags.at("shards"));
+  }
   if (flags.count("faultload")) ropt.faultload = &fl;
   ropt.obs = flags.count("metrics-json") || flags.count("html-report") ||
              flags.count("journal-out") || flags.count("chrome-trace");
+
+  // Persistent result store: --store opens/creates it, --resume insists it
+  // already exists (a typo'd directory should fail loudly, not silently run
+  // the campaign cold), --no-cache re-executes everything but still commits.
+  std::unique_ptr<store::CampaignStore> cstore;
+  if (flags.count("resume") && !flags.count("store")) {
+    std::fprintf(stderr, "--resume requires --store DIR\n");
+    return 2;
+  }
+  if (flags.count("store")) {
+    if (flags.count("resume") &&
+        !std::ifstream(flags.at("store") + "/wal.gfj")) {
+      std::fprintf(stderr, "--resume: no store at %s\n",
+                   flags.at("store").c_str());
+      return 1;
+    }
+    cstore = std::make_unique<store::CampaignStore>(flags.at("store"));
+    ropt.store = cstore.get();
+    ropt.store_read = !flags.count("no-cache");
+    if (flags.count("crash-after-puts")) {
+      // CI/test hook: hard-abort (as SIGKILL would) after the Nth commit to
+      // exercise crash recovery + resume without a cooperative shutdown.
+      const auto n = std::stoull(flags.at("crash-after-puts"));
+      cstore->set_commit_hook([n](std::uint64_t count) {
+        if (count >= n) std::raise(SIGKILL);
+      });
+    }
+  }
 
   depbench::CampaignRunner runner(ropt);
   const auto cells = runner.run_campaign();
@@ -212,7 +258,56 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
       !emit("sched-json", runner.scheduler_stats()->to_json())) {
     return 1;
   }
+  if (runner.store_stats() != nullptr &&
+      !emit("store-json", runner.store_stats()->to_json())) {
+    return 1;
+  }
   return 0;
+}
+
+int cmd_store(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string action = argv[2];
+  const auto flags = parse_flags(argc, argv, 3);
+  if (!flags.count("store")) usage();
+  store::CampaignStore st(flags.at("store"));
+  if (action == "ls") {
+    std::vector<std::uint8_t> payload;
+    for (const auto& r : st.list()) {
+      std::string cell = "?", label = "?";
+      if (st.get(r.key, payload)) store::peek_run_meta(payload, cell, label);
+      std::printf("%s  %10u  %s %s\n", r.key.hex().c_str(), r.length,
+                  cell.c_str(), label.c_str());
+    }
+    const auto s = st.stats();
+    std::printf("%llu records, %llu payload bytes",
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.bytes));
+    if (s.torn_bytes_dropped > 0) {
+      std::printf(" (%llu torn bytes dropped at open)",
+                  static_cast<unsigned long long>(s.torn_bytes_dropped));
+    }
+    std::printf("\n");
+    return 0;
+  }
+  if (action == "verify") {
+    const auto bad = st.verify();
+    const auto s = st.stats();
+    std::printf("%llu records verified, %zu corrupt\n",
+                static_cast<unsigned long long>(s.records), bad);
+    return bad == 0 ? 0 : 1;
+  }
+  if (action == "gc") {
+    const std::uint64_t max_bytes =
+        flags.count("max-bytes") ? std::stoull(flags.at("max-bytes")) : 0;
+    const auto dropped = st.gc(max_bytes);
+    const auto s = st.stats();
+    std::printf("gc: dropped %zu records, %llu live (%llu payload bytes)\n",
+                dropped, static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.bytes));
+    return 0;
+  }
+  usage();
 }
 
 int cmd_show(const std::map<std::string, std::string>& flags) {
@@ -252,9 +347,12 @@ int cmd_show(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
   util::set_log_level(util::LogLevel::kInfo);
   try {
+    // `store` takes an action word before its flags; everything else is
+    // flags-only from argv[2].
+    if (cmd == "store") return cmd_store(argc, argv);
+    const auto flags = parse_flags(argc, argv, 2);
     if (cmd == "scan") return cmd_scan(flags);
     if (cmd == "profile") return cmd_profile(flags);
     if (cmd == "campaign") return cmd_campaign(flags);

@@ -6,6 +6,7 @@
 //   json_check --schema chrome FILE       Chrome trace-event shape
 //   json_check --schema manifest FILE     genfault-campaign manifest shape
 //   json_check --schema sched FILE        scheduler A/B bench shape
+//   json_check --schema store FILE        campaign-store bench/stats shape
 //
 // Exit 0 when every file validates; prints the first problem per file and
 // exits 1 otherwise. run_benches.sh and the CI workflow pipe every emitted
@@ -27,7 +28,7 @@ using gf::obs::json::Value;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: json_check [--jsonl] "
-               "[--schema metrics|chrome|manifest|sched] FILE...\n");
+               "[--schema metrics|chrome|manifest|sched|store] FILE...\n");
   std::exit(2);
 }
 
@@ -239,6 +240,79 @@ bool check_sched(const std::string& file, const Value& root) {
          check_sched_stats(file, "steal", *steal);
 }
 
+/// One store telemetry object ("genfault-store/1"): the StoreStats counters
+/// (see StoreStats::to_json).
+bool check_store_stats(const std::string& file, const std::string& at,
+                       const Value& v) {
+  if (v.type != Value::Type::kObject) return fail(file, at + " not object");
+  const auto* schema = v.find("schema");
+  if (!is_string(schema) || schema->string != "genfault-store/1") {
+    return fail(file, at + " schema is not genfault-store/1");
+  }
+  for (const char* key : {"hits", "misses", "puts", "bytes_read",
+                          "bytes_written", "records", "bytes",
+                          "recovered_records", "torn_bytes_dropped"}) {
+    if (!is_number(v.find(key))) {
+      return fail(file, at + " missing number field: " + key);
+    }
+  }
+  return true;
+}
+
+/// BENCH_store.json ("genfault-store-bench/1"): BM_CampaignResume /
+/// BM_CampaignIncremental — timings, the byte-identity verdict and the
+/// store telemetry of the cold, resume and incremental runs. Also accepts a
+/// bare "genfault-store/1" stats object (the --store-json artifact).
+bool check_store(const std::string& file, const Value& root) {
+  if (root.type != Value::Type::kObject) return fail(file, "root not object");
+  const auto* schema = root.find("schema");
+  if (is_string(schema) && schema->string == "genfault-store/1") {
+    return check_store_stats(file, "root", root);
+  }
+  if (!is_string(schema) || schema->string != "genfault-store-bench/1") {
+    return fail(file, "schema is not genfault-store-bench/1");
+  }
+  for (const char* key : {"jobs", "cold_ms", "resume_ms", "incremental_ms",
+                          "resume_speedup", "incremental_speedup"}) {
+    if (!is_number(root.find(key))) {
+      return fail(file, std::string("missing number field: ") + key);
+    }
+  }
+  const auto* ident = root.find("artifacts_identical");
+  if (ident == nullptr || ident->type != Value::Type::kBool) {
+    return fail(file, "missing bool field: artifacts_identical");
+  }
+  if (!ident->boolean) {
+    return fail(file, "artifacts_identical is false (cache-hit pattern "
+                      "changed the artifacts — determinism regression)");
+  }
+  const auto* cold = root.find("cold");
+  const auto* resume = root.find("resume");
+  const auto* incr = root.find("incremental");
+  if (cold == nullptr) return fail(file, "missing cold{}");
+  if (resume == nullptr) return fail(file, "missing resume{}");
+  if (incr == nullptr) return fail(file, "missing incremental{}");
+  if (!check_store_stats(file, "cold", *cold) ||
+      !check_store_stats(file, "resume", *resume) ||
+      !check_store_stats(file, "incremental", *incr)) {
+    return false;
+  }
+  // Semantic cross-checks on the hit/miss pattern the bench must produce:
+  // the cold run populates (no hits), the unchanged re-run is all hits, the
+  // incremental re-run hits everything except the edited fault type's keys.
+  if (cold->find("hits")->number != 0) {
+    return fail(file, "cold run reported cache hits");
+  }
+  if (resume->find("misses")->number != 0 ||
+      resume->find("hits")->number <= 0) {
+    return fail(file, "resume run was not a full cache hit");
+  }
+  if (incr->find("hits")->number <= 0 || incr->find("misses")->number <= 0) {
+    return fail(file, "incremental run did not mix hits and misses");
+  }
+  return true;
+}
+
 bool check_file(const std::string& file, const std::string& schema,
                 bool jsonl) {
   std::ifstream f(file);
@@ -271,6 +345,7 @@ bool check_file(const std::string& file, const std::string& schema,
   if (schema == "chrome") return check_chrome(file, *v);
   if (schema == "manifest") return check_manifest(file, *v);
   if (schema == "sched") return check_sched(file, *v);
+  if (schema == "store") return check_store(file, *v);
   return true;
 }
 
@@ -287,7 +362,7 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage();
       schema = argv[++i];
       if (schema != "metrics" && schema != "chrome" && schema != "manifest" &&
-          schema != "sched") {
+          schema != "sched" && schema != "store") {
         usage();
       }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {

@@ -45,6 +45,10 @@ struct CampaignOptions {
   /// Results are bit-identical either way; the flag exists for the A/B
   /// speedup measurement in BENCH_snapshot.json.
   bool cold_boot = false;
+  /// Disable VM superinstruction fusion (--no-fusion). Results are
+  /// byte-identical either way; the flag feeds the A/B perf comparison and
+  /// the CI fusion-equivalence gate.
+  bool fusion = true;
   /// Rate-limited live progress on stderr (faults/s, ETA, cells done)
   /// instead of the per-cell log lines. Display only — never feeds the
   /// deterministic artifacts.
@@ -111,6 +115,8 @@ inline CampaignOptions parse_options(int argc, char** argv) {
       opt.activation_json = argv[++i];
     } else if (std::strcmp(argv[i], "--cold-boot") == 0) {
       opt.cold_boot = true;
+    } else if (std::strcmp(argv[i], "--no-fusion") == 0) {
+      opt.fusion = false;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       opt.progress = true;
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
@@ -138,7 +144,8 @@ inline CampaignOptions parse_options(int argc, char** argv) {
                    "[--shards S (deprecated)] [--seed X] "
                    "[--baseline-ms MS] [--activation-report] "
                    "[--trace-out FILE.jsonl] [--activation-json FILE.json] "
-                   "[--cold-boot] [--progress] [--metrics-json FILE] "
+                   "[--cold-boot] [--no-fusion] [--progress] "
+                   "[--metrics-json FILE] "
                    "[--journal-out FILE.jsonl] [--chrome-trace FILE] "
                    "[--html-report FILE] [--sched-json FILE] "
                    "[--store DIR] [--no-cache] [--store-json FILE] "
@@ -163,6 +170,7 @@ inline depbench::RunnerOptions to_runner_options(const CampaignOptions& opt) {
   ropt.baseline_window_ms = opt.baseline_ms;
   ropt.trace = opt.trace();
   ropt.warm_boot = !opt.cold_boot;
+  ropt.fusion = opt.fusion;
   ropt.obs = opt.obs();
   return ropt;
 }

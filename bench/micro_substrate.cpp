@@ -33,11 +33,12 @@ isa::Image dispatch_image() {
 }
 
 void run_dispatch(benchmark::State& state, bool predecode,
-                  bool arm_cold_watch = false) {
+                  bool arm_cold_watch = false, bool fusion = true) {
   const auto img = dispatch_image();
   vm::Machine m;
   m.load_image(img);
   m.set_predecode(predecode);
+  m.set_fusion(fusion);
   if (arm_cold_watch) {
     const auto cold = img.find_symbol("cold")->addr;
     m.arm_watch(cold, cold + 2 * isa::kInstrSize);
@@ -70,6 +71,15 @@ void BM_VmDispatchNoPredecode(benchmark::State& state) {
   run_dispatch(state, false);
 }
 BENCHMARK(BM_VmDispatchNoPredecode)->Arg(100000);
+
+/// A/B partner of BM_VmDispatch with superinstruction fusion disabled: the
+/// delta against BM_VmDispatch *is* the fusion win on this loop (the
+/// threaded-vs-switch lowering is a configure-time choice, reported in the
+/// benchmark context as `vm_dispatch`). CI uploads both sides.
+void BM_VmDispatchNoFusion(benchmark::State& state) {
+  run_dispatch(state, true, /*arm_cold_watch=*/false, /*fusion=*/false);
+}
+BENCHMARK(BM_VmDispatchNoFusion)->Arg(100000);
 
 /// Dispatch with a fault-window watch armed on a *never-executed* function:
 /// the src/trace cost model is that a disarmed (not-hit) watch is one
@@ -267,4 +277,14 @@ BENCHMARK(BM_FaultloadSerialize);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Report which interpreter lowering this binary was built with — the
+  // micro schema (tools/json_check --schema micro) and the A/B comparison
+  // need it to interpret BM_VmDispatch* numbers.
+  benchmark::AddCustomContext("vm_dispatch", vm::Machine::dispatch_kind());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,16 +24,39 @@ STORE_OUT=${STORE_OUT:-BENCH_store.json}
 [ $# -ge 1 ] && shift
 [ $# -ge 1 ] && shift
 
+# Refuse to record trajectory points from anything but a Release build.
+# The committed BENCH_*.json are compared across revisions; a Debug (or
+# unset-type) build skews every number 5-20x and poisons the trajectory.
+# Note the google-benchmark context's own "library_build_type" reports how
+# the *library* was built (the distro package says "debug"), not this
+# project — so the guard reads the project's CMakeCache.txt instead, and we
+# inject an explicit build_type context key the micro schema checks.
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  echo "error: $BUILD_DIR/CMakeCache.txt not found — configure first:" \
+       "cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+if [ "$BUILD_TYPE" != "Release" ]; then
+  echo "error: $BUILD_DIR is configured as '${BUILD_TYPE:-<empty>}', not" \
+       "Release — benchmark numbers from it are not comparable." >&2
+  echo "  reconfigure: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release" \
+       "&& cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
 for bin in bench/micro_substrate bench/table5_campaign bench/campaign_steal \
            bench/campaign_resume tools/json_check; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built" \
-         "(cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+         "(cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release &&" \
+         "cmake --build $BUILD_DIR -j)" >&2
     exit 1
   fi
 done
 
 "$BUILD_DIR/bench/micro_substrate" \
+  --benchmark_context=build_type=Release \
   --benchmark_out="$OUT" --benchmark_out_format=json "$@"
 
 # Short traced campaign: wide stride + compressed exposure/baseline windows
@@ -149,7 +172,8 @@ echo "campaign store A/B written to $STORE_OUT" >&2
 
 # Validate every emitted JSON artifact; a malformed emitter fails the run
 # loudly here instead of producing quietly-broken dashboards downstream.
-"$BUILD_DIR/tools/json_check" "$OUT" "$ACT_OUT" "$SNAP_OUT" "$OBS_OUT"
+"$BUILD_DIR/tools/json_check" "$ACT_OUT" "$SNAP_OUT" "$OBS_OUT"
+"$BUILD_DIR/tools/json_check" --schema micro "$OUT"
 "$BUILD_DIR/tools/json_check" --schema sched "$SCHED_OUT"
 "$BUILD_DIR/tools/json_check" --schema store "$STORE_OUT"
 "$BUILD_DIR/tools/json_check" --schema manifest "$OBS_DIR/manifest.json"

@@ -505,10 +505,15 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
         .count();
   };
   auto build = [&](std::size_t cell, const ControllerConfig& c) {
-    return opt_.warm_boot
-               ? std::make_unique<Controller>(warm[cell], c)
-               : std::make_unique<Controller>(plan[cell].version,
-                                              plan[cell].server, c);
+    auto ctl = opt_.warm_boot
+                   ? std::make_unique<Controller>(warm[cell], c)
+                   : std::make_unique<Controller>(plan[cell].version,
+                                                  plan[cell].server, c);
+    // A/B hook: fusion is an execution strategy, not a semantic knob, so it
+    // is applied to the built machine instead of traveling through
+    // ControllerConfig (and store keys). Default-on costs nothing here.
+    if (!opt_.fusion) ctl->kernel().machine().set_fusion(false);
+    return ctl;
   };
   // The per-fault mini-run: a fresh controller, exactly one fault injected
   // (offset = its absolute index, stride spans the whole faultload), seeded
@@ -700,6 +705,7 @@ std::vector<IntrusivenessCell> CampaignRunner::run_intrusiveness() {
     const auto cfg = cell_config(server, opt_);
     const auto seed = derive_seed(opt_.seed, cell, 0);
     Controller ctl(version, server, cfg);
+    if (!opt_.fusion) ctl.kernel().machine().set_fusion(false);
     if (idx % 2 == 0) {
       cells[cell].max_perf = ctl.run_baseline(opt_.baseline_window_ms, seed);
     } else {

@@ -85,6 +85,12 @@ struct RunnerOptions {
   /// for any `jobs` value (the capture mirrors the cold bring-up exactly);
   /// off = the original cold path, kept for A/B and equivalence tests.
   bool warm_boot = true;
+  /// VM superinstruction fusion (--no-fusion turns it off). Pure execution
+  /// strategy: architectural results, activation traces and obs artifacts
+  /// are byte-identical either way, so the flag is deliberately NOT part of
+  /// ControllerConfig (store keys serve both modes). Kept for A/B
+  /// benchmarking and the CI equivalence gate.
+  bool fusion = true;
   /// Observability: give every task a private TaskObs bundle and merge them
   /// at the join (CampaignRunner::campaign_obs()). The merged registry and
   /// journal are byte-identical for any `jobs` at fixed shards/seed; see

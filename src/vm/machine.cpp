@@ -4,11 +4,128 @@
 #include <cstring>
 #include <stdexcept>
 
+// Dispatch lowering: computed-goto labels-as-values ("threaded") on
+// compilers that support the GNU extension, with the portable switch kept as
+// a fallback. The CMake option GF_VM_DISPATCH pins it explicitly; when the
+// macro is not injected by the build, auto-detect.
+#ifndef GF_VM_THREADED_DISPATCH
+#if defined(__GNUC__) || defined(__clang__)
+#define GF_VM_THREADED_DISPATCH 1
+#else
+#define GF_VM_THREADED_DISPATCH 0
+#endif
+#endif
+
 namespace gf::vm {
 
 using isa::Instr;
 using isa::kInstrSize;
 using isa::Op;
+
+namespace {
+
+// --- dispatch tokens (xop) --------------------------------------------------
+//
+// xop_[slot] refines predecoded_[slot].op into one dispatch token so the hot
+// loop branches exactly once per handler entry:
+//
+//   0 .. kOpCount_   the base opcode (kOpCount_ = the undecodable marker)
+//   kXBadJump        hole between images: fetch failure folded into dispatch
+//   kXArmed          armed watch window: note the hit, single-step the base op
+//   kXCmpBr ...      fused pairs, decided at predecode time
+//
+// plus the kXGlue bit when the fall-through successor slot is statically
+// valid, unarmed and in-hull: the dispatch tail may then skip the full fetch
+// (hull check, flag byte, coverage test). Safety: validity and armedness are
+// immune to guest writes (invalidate_code re-decodes content but never
+// touches flags), and the glue path re-reads predecoded_/xop_ fresh, so a
+// stale in-register glue bit can never execute stale bytes. Fused-pair HEADS
+// never write memory, so the pair's second Instr, read after the head
+// executes, cannot have been invalidated mid-handler; writes by the second
+// half only matter at the next dispatch, which reads the tables fresh.
+//
+// Fusion/glue is disabled entirely under per-pc coverage (the glue path skips
+// the coverage test) and inside the armed window (single-step contract).
+//
+// The name list mirrors Op order exactly — static_asserts below pin it.
+#define GF_VM_XOPS(X)                                                       \
+  X(Nop) X(Halt) X(MovI) X(Mov) X(Ld) X(St) X(LdB) X(StB)                   \
+  X(Add) X(Sub) X(Mul) X(Div) X(Mod) X(And) X(Or) X(Xor) X(Shl) X(Shr)      \
+  X(AddI) X(Not) X(Neg) X(Cmp) X(CmpI)                                      \
+  X(Jmp) X(Jz) X(Jnz) X(Jlt) X(Jle) X(Jgt) X(Jge)                           \
+  X(Call) X(CallR) X(Ret) X(Push) X(Pop) X(Sys) X(BadOp)                    \
+  X(BadJump) X(Armed)                                                       \
+  X(CmpBr)   /* cmp  + conditional branch                  */               \
+  X(CmpIBr)  /* cmpi + conditional branch                  */               \
+  X(LdLd)    /* ld + ld                                    */               \
+  X(LdAlu)   /* ld + 3-op ALU (add/sub/mul/bitops/shifts)  */               \
+  X(LdPush)  /* ld + push                                  */               \
+  X(MovIAlu) /* movi + 3-op ALU                            */               \
+  X(MovPop)  /* mov + pop                                  */               \
+  X(AluSt)   /* 3-op ALU + st                              */
+
+enum Xop : std::uint8_t {
+#define GF_VM_DEF(name) kX##name,
+  GF_VM_XOPS(GF_VM_DEF)
+#undef GF_VM_DEF
+  kXopCount_
+};
+
+constexpr std::uint8_t kXGlue = 0x40;
+constexpr std::uint8_t kXopMask = 0x3F;
+static_assert(kXNop == static_cast<std::uint8_t>(Op::kNop));
+static_assert(kXSys == static_cast<std::uint8_t>(Op::kSys));
+static_assert(kXBadOp == static_cast<std::uint8_t>(Op::kOpCount_));
+static_assert(kXopCount_ <= kXGlue, "xop tokens must fit below the glue bit");
+
+// The 3-op ALU subset fused pairs admit: single behavior, no traps (div/mod
+// keep their own handlers).
+constexpr bool fusable_alu(Op op) noexcept {
+  switch (op) {
+    case Op::kAdd: case Op::kSub: case Op::kMul: case Op::kAnd:
+    case Op::kOr: case Op::kXor: case Op::kShl: case Op::kShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline std::int64_t alu_eval(Op op, std::int64_t a, std::int64_t b) noexcept {
+  switch (op) {
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kAnd: return a & b;
+    case Op::kOr: return a | b;
+    case Op::kXor: return a ^ b;
+    case Op::kShl:
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
+                                       << (b & 63));
+    default:  // kShr — the fuse-time filter admits nothing else
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >>
+                                       (b & 63));
+  }
+}
+
+constexpr std::uint64_t alu_cost(Op op) noexcept {
+  return op == Op::kMul ? 3u : 1u;
+}
+
+// Taken-decision for the fused compare+branch handlers, indexed by
+// [branch - kJz][flags + 1]. Row order matches the Op enum.
+inline bool branch_taken(Op op, int flags) noexcept {
+  static constexpr bool kTaken[6][3] = {
+      /* kJz  */ {false, true, false},
+      /* kJnz */ {true, false, true},
+      /* kJlt */ {true, false, false},
+      /* kJle */ {true, true, false},
+      /* kJgt */ {false, false, true},
+      /* kJge */ {false, true, true},
+  };
+  return kTaken[static_cast<int>(op) - static_cast<int>(Op::kJz)][flags + 1];
+}
+
+}  // namespace
 
 const char* trap_name(Trap t) noexcept {
   switch (t) {
@@ -158,18 +275,22 @@ void Machine::invalidate_code(std::uint64_t addr, std::uint64_t len) noexcept {
       len > code_hi_ - addr ? code_hi_ : addr + len;  // overflow-safe clamp
   if (end <= code_lo_) return;
   const std::uint64_t lo = addr > code_lo_ ? addr : code_lo_;
-  std::size_t s = static_cast<std::size_t>((lo - code_lo_) / kInstrSize);
+  const auto s0 = static_cast<std::size_t>((lo - code_lo_) / kInstrSize);
   const auto e = static_cast<std::size_t>(
       (end - code_lo_ + kInstrSize - 1) / kInstrSize);
   // Only re-decodes; slot flags (validity, armed bits) are left untouched,
   // so an armed fault window survives the inject/restore patches it watches.
-  for (; s < e; ++s) {
+  for (std::size_t s = s0; s < e; ++s) {
     if (!(slot_flags_[s] & kSlotValid)) continue;
     const std::uint8_t* p = mem_.data() + code_lo_ + s * kInstrSize;
     if (!isa::decode_into(p, predecoded_[s])) {
       predecoded_[s] = Instr{Op::kOpCount_, 0, 0, 0, 0};
     }
   }
+  // Re-tokenize, one slot wider to the left: a write landing on the second
+  // half of a fused pair must split the superinstruction whose head lies
+  // just before the written range.
+  rebuild_xop(s0 > 0 ? s0 - 1 : 0, e);
 }
 
 void Machine::set_predecode(bool enabled) {
@@ -177,9 +298,87 @@ void Machine::set_predecode(bool enabled) {
   rebuild_predecode();
 }
 
+void Machine::set_fusion(bool enabled) {
+  fusion_ = enabled;
+  if (!predecoded_.empty()) rebuild_xop(0, predecoded_.size());
+}
+
+const char* Machine::dispatch_kind() noexcept {
+#if GF_VM_THREADED_DISPATCH
+  return "threaded";
+#else
+  return "switch";
+#endif
+}
+
+std::uint8_t Machine::xop_for_slot(std::size_t s) const noexcept {
+  const std::uint8_t f = slot_flags_[s];
+  if (!(f & kSlotValid)) return kXBadJump;
+  if (f & kSlotArmed) return kXArmed;  // single-step inside the fault window
+  const Instr& a = predecoded_[s];
+  const auto base = static_cast<std::uint8_t>(a.op);
+  // Undecodable slots trap, syscall handlers may rewrite anything (including
+  // these tables), and coverage records per-pc at the full fetch: none of
+  // them glue or fuse.
+  if (a.op == Op::kOpCount_ || a.op == Op::kSys || !fusion_ || coverage_) {
+    return base;
+  }
+  if (s + 1 >= predecoded_.size()) return base;
+  const std::uint8_t f2 = slot_flags_[s + 1];
+  if (!(f2 & kSlotValid) || (f2 & kSlotArmed)) return base;
+  // Fall-through successor is statically safe: glue at least, and known
+  // pairs collapse into one handler. Pair heads never write memory (see the
+  // token-table comment for why that matters).
+  std::uint8_t x = base;
+  const Op b = predecoded_[s + 1].op;
+  switch (a.op) {
+    case Op::kCmp:
+      if (isa::is_branch(b)) x = kXCmpBr;
+      break;
+    case Op::kCmpI:
+      if (isa::is_branch(b)) x = kXCmpIBr;
+      break;
+    case Op::kLd:
+      if (b == Op::kLd) x = kXLdLd;
+      else if (fusable_alu(b)) x = kXLdAlu;
+      else if (b == Op::kPush) x = kXLdPush;
+      break;
+    case Op::kMovI:
+      if (fusable_alu(b)) x = kXMovIAlu;
+      break;
+    case Op::kMov:
+      if (b == Op::kPop) x = kXMovPop;
+      break;
+    default:
+      if (fusable_alu(a.op) && b == Op::kSt) x = kXAluSt;
+      break;
+  }
+  return static_cast<std::uint8_t>(x | kXGlue);
+}
+
+void Machine::rebuild_xop(std::size_t lo_slot, std::size_t hi_slot) noexcept {
+  if (xop_.size() != predecoded_.size()) {
+    xop_.assign(predecoded_.size(), kXBadJump);
+  }
+  if (hi_slot > xop_.size()) hi_slot = xop_.size();
+  for (std::size_t s = lo_slot; s < hi_slot; ++s) xop_[s] = xop_for_slot(s);
+}
+
+void Machine::rebuild_xop_for_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  if (predecoded_.empty() || hi <= lo) return;
+  if (lo < code_lo_) lo = code_lo_;
+  if (hi > code_hi_) hi = code_hi_;
+  if (hi <= lo) return;
+  const auto s0 = static_cast<std::size_t>((lo - code_lo_) / kInstrSize);
+  const auto s1 = static_cast<std::size_t>(
+      (hi - code_lo_ + kInstrSize - 1) / kInstrSize);
+  rebuild_xop(s0 > 0 ? s0 - 1 : 0, s1);
+}
+
 void Machine::rebuild_predecode() {
   predecoded_.clear();
   slot_flags_.clear();
+  xop_.clear();
   code_lo_ = code_hi_ = 0;
   if (!predecode_ || code_ranges_.empty()) return;
   code_lo_ = code_ranges_.front().lo;
@@ -212,6 +411,7 @@ void Machine::rebuild_predecode() {
     }
   }
   apply_watch_bits();
+  rebuild_xop(0, slots);
 }
 
 void Machine::apply_watch_bits() noexcept {
@@ -230,9 +430,13 @@ void Machine::arm_watch(std::uint64_t lo, std::uint64_t hi) {
   watch_hi_ = hi;
   watch_ = WatchTrace{};
   apply_watch_bits();
+  // Armed slots single-step (kXArmed) and their predecessors lose glue/fusion
+  // so every entry into the window goes through the full fetch.
+  rebuild_xop_for_range(watch_lo_, watch_hi_);
 }
 
 void Machine::disarm_watch() {
+  const std::uint64_t lo = watch_lo_, hi = watch_hi_;
   if (watch_hi_ != 0 && !slot_flags_.empty()) {
     for (std::uint64_t a = watch_lo_; a < watch_hi_; a += kInstrSize) {
       if (a < code_lo_ || a + kInstrSize > code_hi_) continue;
@@ -242,6 +446,7 @@ void Machine::disarm_watch() {
   }
   watch_lo_ = watch_hi_ = 0;
   edge_live_ = false;
+  rebuild_xop_for_range(lo, hi);  // window slots re-fuse once disarmed
 }
 
 void Machine::note_watch_hit(std::uint64_t cycles) noexcept {
@@ -346,6 +551,9 @@ bool Machine::in_code(std::uint64_t addr) const noexcept {
 void Machine::set_coverage(bool enabled) {
   coverage_ = enabled;
   if (enabled && covered_.empty()) covered_.resize(mem_.size() / kInstrSize, false);
+  // Coverage records per-pc at the full fetch, which glue would skip:
+  // re-tokenize so coverage runs execute strictly unfused.
+  if (!predecoded_.empty()) rebuild_xop(0, predecoded_.size());
 }
 
 void Machine::clear_coverage() {
@@ -389,7 +597,10 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
   std::uint64_t steps = 0;
   // Single exit: every termination path funnels through here so the
   // lifetime counters and dispatch stats are folded in exactly once per run
-  // (the loop itself only touches the two local accumulators).
+  // (the loop itself only touches the two local accumulators). `steps`
+  // counts architecturally retired instructions — fused handlers bump it
+  // once per half, and the fetch-failure tokens (kXBadJump / kXBadOp), which
+  // flow through dispatch after the increment, give it back.
   auto stop = [&](Trap t) {
     total_cycles_ += cycles;
     stats_.instructions += steps;
@@ -398,205 +609,460 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
     return RunResult{t, cycles, pc, 0};
   };
 
-  while (true) {
-    if (cycles >= cycle_budget) return stop(Trap::kCycleLimit);
+  auto& R = regs_;
+  Instr in{};   // instruction being dispatched
+  Instr b{};    // second half of a fused pair
+  std::uint8_t xop = 0;
+  std::size_t slot = 0;
+  std::uint64_t next = 0;
+  std::uint64_t cost = 0;
 
-    Instr in;
-    if (!predecoded_.empty()) {
-      // Fast path: one hull check + bitmap lookup + side-table fetch. The
-      // short-circuit keeps the slot index in-bounds before slot_flags_ is
-      // touched; pc - code_lo_ may wrap but is then never used.
-      const std::uint64_t rel = pc - code_lo_;
-      const auto slot = static_cast<std::size_t>(rel / kInstrSize);
-      if (pc < code_lo_ || pc + kInstrSize > code_hi_ || rel % kInstrSize != 0) {
-        return stop(Trap::kBadJump);
-      }
-      const std::uint8_t sflags = slot_flags_[slot];
-      if (!(sflags & kSlotValid)) return stop(Trap::kBadJump);
-      // Activation watch: one branch on a bit of the byte the validity check
-      // already loaded — never taken unless a fault window is armed AND hit.
-      if (sflags & kSlotArmed) [[unlikely]] note_watch_hit(cycles);
-      if (coverage_) {
+#if GF_VM_THREADED_DISPATCH
+  // Indexed by (xop & kXopMask); entries past kXopCount_ are unreachable by
+  // construction but still land on a defined handler.
+  static const void* const kXopLabels[kXopMask + 1] = {
+#define GF_VM_LBL(name) &&H_##name,
+      GF_VM_XOPS(GF_VM_LBL)
+#undef GF_VM_LBL
+      &&H_BadOp, &&H_BadOp, &&H_BadOp, &&H_BadOp, &&H_BadOp, &&H_BadOp,
+      &&H_BadOp, &&H_BadOp, &&H_BadOp, &&H_BadOp, &&H_BadOp, &&H_BadOp,
+      &&H_BadOp, &&H_BadOp, &&H_BadOp, &&H_BadOp, &&H_BadOp,
+  };
+  static_assert(kXopCount_ == 47, "update the kXopLabels padding");
+#define VM_CASE(name) H_##name:
+#else
+#define VM_CASE(name) case kX##name:
+#endif
+
+  // Architectural boundary between the two halves of a fused pair: the head
+  // has fully retired (its cycles and pc advance are committed), so a budget
+  // stop before the second half or a trap inside it is indistinguishable
+  // from unfused execution. The head never transfers control, so no
+  // edge-ring check is due at this boundary.
+#define VM_FUSE_NEXT(head_cost)                        \
+  cycles += (head_cost);                               \
+  pc += kInstrSize;                                    \
+  if (cycles >= cycle_budget) [[unlikely]] goto fetch; \
+  ++steps;                                             \
+  ++slot;                                              \
+  b = predecoded_[slot];                               \
+  xop = xop_[slot];                                    \
+  next = pc + kInstrSize;                              \
+  cost = 1
+
+fetch:
+  if (cycles >= cycle_budget) return stop(Trap::kCycleLimit);
+  if (!predecoded_.empty()) {
+    // Fast path: one hull check + token/side-table fetch. The short-circuit
+    // keeps the slot index in-bounds before the tables are touched;
+    // pc - code_lo_ may wrap but is then never used. Validity, armedness and
+    // undecodability are pre-folded into the token, so the only per-fetch
+    // branches are the hull check and the (normally false) coverage test.
+    const std::uint64_t rel = pc - code_lo_;
+    slot = static_cast<std::size_t>(rel / kInstrSize);
+    if (pc < code_lo_ || pc + kInstrSize > code_hi_ || rel % kInstrSize != 0) {
+      return stop(Trap::kBadJump);
+    }
+    in = predecoded_[slot];
+    xop = xop_[slot];
+    if (coverage_) {
+      if (xop != kXBadJump) {  // holes were never recorded as executed
         const std::size_t idx = pc / kInstrSize;
         if (!covered_[idx]) {
           covered_[idx] = true;
           executed_.push_back(pc);
         }
       }
-      in = predecoded_[slot];
-      if (in.op == Op::kOpCount_) return stop(Trap::kBadOpcode);
-    } else {
-      if (!in_code(pc) || pc % kInstrSize != 0) return stop(Trap::kBadJump);
-      // Fallback decode path: no slot table, so the watch is a range compare.
-      if (watch_hi_ != 0 && pc >= watch_lo_ && pc < watch_hi_) [[unlikely]] {
-        note_watch_hit(cycles);
-      }
-      if (coverage_) {
-        const std::size_t idx = pc / kInstrSize;
-        if (!covered_[idx]) {
-          covered_[idx] = true;
-          executed_.push_back(pc);
-        }
-      }
-      if (!isa::decode_into(mem_.data() + pc, in)) return stop(Trap::kBadOpcode);
     }
-
-    ++steps;
-    std::uint64_t next = pc + kInstrSize;
-    std::uint64_t cost = 1;
-
-    auto& R = regs_;
-    const auto imm = static_cast<std::int64_t>(in.imm);
-
-    switch (in.op) {
-      case Op::kNop:
-        break;
-      case Op::kHalt:
-        ++cycles;
-        return stop(Trap::kHalt);
-      case Op::kMovI:
-        R[in.rd] = imm;
-        break;
-      case Op::kMov:
-        R[in.rd] = R[in.rs1];
-        break;
-      case Op::kLd: {
-        std::uint64_t v;
-        if (!read_u64(static_cast<std::uint64_t>(R[in.rs1] + imm), v))
-          return stop(Trap::kBadMemory);
-        R[in.rd] = static_cast<std::int64_t>(v);
-        cost = 2;
-        break;
-      }
-      case Op::kSt:
-        if (!write_u64(static_cast<std::uint64_t>(R[in.rs1] + imm),
-                       static_cast<std::uint64_t>(R[in.rs2])))
-          return stop(Trap::kBadMemory);
-        cost = 2;
-        break;
-      case Op::kLdB: {
-        std::uint8_t v;
-        if (!read_u8(static_cast<std::uint64_t>(R[in.rs1] + imm), v))
-          return stop(Trap::kBadMemory);
-        R[in.rd] = v;
-        cost = 2;
-        break;
-      }
-      case Op::kStB:
-        if (!write_u8(static_cast<std::uint64_t>(R[in.rs1] + imm),
-                      static_cast<std::uint8_t>(R[in.rs2])))
-          return stop(Trap::kBadMemory);
-        cost = 2;
-        break;
-      case Op::kAdd: R[in.rd] = R[in.rs1] + R[in.rs2]; break;
-      case Op::kSub: R[in.rd] = R[in.rs1] - R[in.rs2]; break;
-      case Op::kMul: R[in.rd] = R[in.rs1] * R[in.rs2]; cost = 3; break;
-      case Op::kDiv:
-        if (R[in.rs2] == 0) return stop(Trap::kDivZero);
-        R[in.rd] = R[in.rs1] / R[in.rs2];
-        cost = 10;
-        break;
-      case Op::kMod:
-        if (R[in.rs2] == 0) return stop(Trap::kDivZero);
-        R[in.rd] = R[in.rs1] % R[in.rs2];
-        cost = 10;
-        break;
-      case Op::kAnd: R[in.rd] = R[in.rs1] & R[in.rs2]; break;
-      case Op::kOr: R[in.rd] = R[in.rs1] | R[in.rs2]; break;
-      case Op::kXor: R[in.rd] = R[in.rs1] ^ R[in.rs2]; break;
-      case Op::kShl:
-        R[in.rd] = static_cast<std::int64_t>(static_cast<std::uint64_t>(R[in.rs1])
-                                             << (R[in.rs2] & 63));
-        break;
-      case Op::kShr:
-        R[in.rd] = static_cast<std::int64_t>(static_cast<std::uint64_t>(R[in.rs1]) >>
-                                             (R[in.rs2] & 63));
-        break;
-      case Op::kAddI: R[in.rd] = R[in.rs1] + imm; break;
-      case Op::kNot: R[in.rd] = ~R[in.rs1]; break;
-      case Op::kNeg: R[in.rd] = -R[in.rs1]; break;
-      case Op::kCmp:
-        flags_ = R[in.rs1] < R[in.rs2] ? -1 : (R[in.rs1] > R[in.rs2] ? 1 : 0);
-        break;
-      case Op::kCmpI:
-        flags_ = R[in.rs1] < imm ? -1 : (R[in.rs1] > imm ? 1 : 0);
-        break;
-      case Op::kJmp: next = static_cast<std::uint64_t>(imm); break;
-      case Op::kJz: if (flags_ == 0) next = static_cast<std::uint64_t>(imm); break;
-      case Op::kJnz: if (flags_ != 0) next = static_cast<std::uint64_t>(imm); break;
-      case Op::kJlt: if (flags_ < 0) next = static_cast<std::uint64_t>(imm); break;
-      case Op::kJle: if (flags_ <= 0) next = static_cast<std::uint64_t>(imm); break;
-      case Op::kJgt: if (flags_ > 0) next = static_cast<std::uint64_t>(imm); break;
-      case Op::kJge: if (flags_ >= 0) next = static_cast<std::uint64_t>(imm); break;
-      case Op::kCall:
-      case Op::kCallR: {
-        const std::uint64_t target = in.op == Op::kCall
-                                         ? static_cast<std::uint64_t>(imm)
-                                         : static_cast<std::uint64_t>(R[in.rs1]);
-        const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]) - 8;
-        if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
-        if (!write_u64(sp, next)) return stop(Trap::kBadMemory);
-        R[isa::kRegSp] = static_cast<std::int64_t>(sp);
-        next = target;
-        cost = 2;
-        break;
-      }
-      case Op::kRet: {
-        const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]);
-        if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
-        std::uint64_t ra;
-        if (!read_u64(sp, ra)) return stop(Trap::kBadMemory);
-        R[isa::kRegSp] = static_cast<std::int64_t>(sp + 8);
-        if (ra == kReturnSentinel) {
-          ++cycles;
-          return stop(Trap::kHalt);
-        }
-        next = ra;
-        cost = 2;
-        break;
-      }
-      case Op::kPush: {
-        const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]) - 8;
-        if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
-        if (!write_u64(sp, static_cast<std::uint64_t>(R[in.rs1])))
-          return stop(Trap::kBadMemory);
-        R[isa::kRegSp] = static_cast<std::int64_t>(sp);
-        cost = 2;
-        break;
-      }
-      case Op::kPop: {
-        const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]);
-        if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
-        std::uint64_t v;
-        if (!read_u64(sp, v)) return stop(Trap::kBadMemory);
-        R[in.rd] = static_cast<std::int64_t>(v);
-        R[isa::kRegSp] = static_cast<std::int64_t>(sp + 8);
-        cost = 2;
-        break;
-      }
-      case Op::kSys: {
-        if (!syscall_) return stop(Trap::kBadOpcode);
-        const Trap t = syscall_(*this, in.imm);
-        if (t != Trap::kNone) {
-          cycles += 20;
-          return stop(t);
-        }
-        cost = 20;
-        break;
-      }
-      case Op::kOpCount_:
-        return stop(Trap::kBadOpcode);
+  } else {
+    if (!in_code(pc) || pc % kInstrSize != 0) return stop(Trap::kBadJump);
+    // Fallback decode path: no slot table, so the watch is a range compare.
+    if (watch_hi_ != 0 && pc >= watch_lo_ && pc < watch_hi_) [[unlikely]] {
+      note_watch_hit(cycles);
     }
-
-    // Error-propagation edges: only live between the first watch hit and
-    // disarm, i.e. while an injected fault is both armed and activated.
-    if (edge_live_) [[unlikely]] {
-      if (next != pc + kInstrSize) note_watch_edge(pc, next);
+    if (coverage_) {
+      const std::size_t idx = pc / kInstrSize;
+      if (!covered_[idx]) {
+        covered_[idx] = true;
+        executed_.push_back(pc);
+      }
     }
-
-    cycles += cost;
-    pc = next;
+    if (!isa::decode_into(mem_.data() + pc, in)) return stop(Trap::kBadOpcode);
+    xop = static_cast<std::uint8_t>(in.op);
   }
+  ++steps;
+  next = pc + kInstrSize;
+  cost = 1;
+
+dispatch:
+#if GF_VM_THREADED_DISPATCH
+  goto* kXopLabels[xop & kXopMask];
+#else
+  switch (xop & kXopMask) {
+#endif
+
+  // --- base opcodes (shared by both lowerings; each body ends in a goto) ---
+  VM_CASE(Nop) { goto tail; }
+  VM_CASE(Halt) {
+    ++cycles;
+    return stop(Trap::kHalt);
+  }
+  VM_CASE(MovI) {
+    R[in.rd] = static_cast<std::int64_t>(in.imm);
+    goto tail;
+  }
+  VM_CASE(Mov) {
+    R[in.rd] = R[in.rs1];
+    goto tail;
+  }
+  VM_CASE(Ld) {
+    std::uint64_t v;
+    if (!read_u64(static_cast<std::uint64_t>(
+                      R[in.rs1] + static_cast<std::int64_t>(in.imm)), v)) {
+      return stop(Trap::kBadMemory);
+    }
+    R[in.rd] = static_cast<std::int64_t>(v);
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(St) {
+    if (!write_u64(static_cast<std::uint64_t>(
+                       R[in.rs1] + static_cast<std::int64_t>(in.imm)),
+                   static_cast<std::uint64_t>(R[in.rs2]))) {
+      return stop(Trap::kBadMemory);
+    }
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(LdB) {
+    std::uint8_t v;
+    if (!read_u8(static_cast<std::uint64_t>(
+                     R[in.rs1] + static_cast<std::int64_t>(in.imm)), v)) {
+      return stop(Trap::kBadMemory);
+    }
+    R[in.rd] = v;
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(StB) {
+    if (!write_u8(static_cast<std::uint64_t>(
+                      R[in.rs1] + static_cast<std::int64_t>(in.imm)),
+                  static_cast<std::uint8_t>(R[in.rs2]))) {
+      return stop(Trap::kBadMemory);
+    }
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(Add) {
+    R[in.rd] = R[in.rs1] + R[in.rs2];
+    goto tail;
+  }
+  VM_CASE(Sub) {
+    R[in.rd] = R[in.rs1] - R[in.rs2];
+    goto tail;
+  }
+  VM_CASE(Mul) {
+    R[in.rd] = R[in.rs1] * R[in.rs2];
+    cost = 3;
+    goto tail;
+  }
+  VM_CASE(Div) {
+    if (R[in.rs2] == 0) return stop(Trap::kDivZero);
+    R[in.rd] = R[in.rs1] / R[in.rs2];
+    cost = 10;
+    goto tail;
+  }
+  VM_CASE(Mod) {
+    if (R[in.rs2] == 0) return stop(Trap::kDivZero);
+    R[in.rd] = R[in.rs1] % R[in.rs2];
+    cost = 10;
+    goto tail;
+  }
+  VM_CASE(And) {
+    R[in.rd] = R[in.rs1] & R[in.rs2];
+    goto tail;
+  }
+  VM_CASE(Or) {
+    R[in.rd] = R[in.rs1] | R[in.rs2];
+    goto tail;
+  }
+  VM_CASE(Xor) {
+    R[in.rd] = R[in.rs1] ^ R[in.rs2];
+    goto tail;
+  }
+  VM_CASE(Shl) {
+    R[in.rd] = static_cast<std::int64_t>(static_cast<std::uint64_t>(R[in.rs1])
+                                         << (R[in.rs2] & 63));
+    goto tail;
+  }
+  VM_CASE(Shr) {
+    R[in.rd] = static_cast<std::int64_t>(static_cast<std::uint64_t>(R[in.rs1]) >>
+                                         (R[in.rs2] & 63));
+    goto tail;
+  }
+  VM_CASE(AddI) {
+    R[in.rd] = R[in.rs1] + static_cast<std::int64_t>(in.imm);
+    goto tail;
+  }
+  VM_CASE(Not) {
+    R[in.rd] = ~R[in.rs1];
+    goto tail;
+  }
+  VM_CASE(Neg) {
+    R[in.rd] = -R[in.rs1];
+    goto tail;
+  }
+  VM_CASE(Cmp) {
+    flags_ = R[in.rs1] < R[in.rs2] ? -1 : (R[in.rs1] > R[in.rs2] ? 1 : 0);
+    goto tail;
+  }
+  VM_CASE(CmpI) {
+    const auto imm = static_cast<std::int64_t>(in.imm);
+    flags_ = R[in.rs1] < imm ? -1 : (R[in.rs1] > imm ? 1 : 0);
+    goto tail;
+  }
+  VM_CASE(Jmp) {
+    next = static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+    goto tail;
+  }
+  VM_CASE(Jz) {
+    if (flags_ == 0) next = static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+    goto tail;
+  }
+  VM_CASE(Jnz) {
+    if (flags_ != 0) next = static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+    goto tail;
+  }
+  VM_CASE(Jlt) {
+    if (flags_ < 0) next = static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+    goto tail;
+  }
+  VM_CASE(Jle) {
+    if (flags_ <= 0) next = static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+    goto tail;
+  }
+  VM_CASE(Jgt) {
+    if (flags_ > 0) next = static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+    goto tail;
+  }
+  VM_CASE(Jge) {
+    if (flags_ >= 0) next = static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+    goto tail;
+  }
+  VM_CASE(Call) {
+    const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]) - 8;
+    if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+    if (!write_u64(sp, next)) return stop(Trap::kBadMemory);
+    R[isa::kRegSp] = static_cast<std::int64_t>(sp);
+    next = static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(CallR) {
+    const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]) - 8;
+    if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+    if (!write_u64(sp, next)) return stop(Trap::kBadMemory);
+    R[isa::kRegSp] = static_cast<std::int64_t>(sp);
+    next = static_cast<std::uint64_t>(R[in.rs1]);
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(Ret) {
+    const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]);
+    if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+    std::uint64_t ra;
+    if (!read_u64(sp, ra)) return stop(Trap::kBadMemory);
+    R[isa::kRegSp] = static_cast<std::int64_t>(sp + 8);
+    if (ra == kReturnSentinel) {
+      ++cycles;
+      return stop(Trap::kHalt);
+    }
+    next = ra;
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(Push) {
+    const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]) - 8;
+    if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+    if (!write_u64(sp, static_cast<std::uint64_t>(R[in.rs1]))) {
+      return stop(Trap::kBadMemory);
+    }
+    R[isa::kRegSp] = static_cast<std::int64_t>(sp);
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(Pop) {
+    const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]);
+    if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+    std::uint64_t v;
+    if (!read_u64(sp, v)) return stop(Trap::kBadMemory);
+    R[in.rd] = static_cast<std::int64_t>(v);
+    R[isa::kRegSp] = static_cast<std::int64_t>(sp + 8);
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(Sys) {
+    if (!syscall_) return stop(Trap::kBadOpcode);
+    const Trap t = syscall_(*this, in.imm);
+    if (t != Trap::kNone) {
+      cycles += 20;
+      return stop(t);
+    }
+    cost = 20;
+    goto tail;
+  }
+  VM_CASE(BadOp) {
+    // Fetch-time failure routed through dispatch: not a retired instruction.
+    --steps;
+    return stop(Trap::kBadOpcode);
+  }
+
+  // --- fetch-failure tokens -------------------------------------------------
+  VM_CASE(BadJump) {
+    --steps;  // hole between images: nothing retired
+    return stop(Trap::kBadJump);
+  }
+  VM_CASE(Armed) {
+    // Single-step fallback inside the fault window: record the hit, then
+    // dispatch the base opcode (nothing in the window fuses or glues, and
+    // the predecessor's glue was cleared, so every entry lands here).
+    note_watch_hit(cycles);
+    xop = static_cast<std::uint8_t>(in.op);
+    goto dispatch;
+  }
+
+  // --- fused pairs ----------------------------------------------------------
+  VM_CASE(CmpBr) {
+    flags_ = R[in.rs1] < R[in.rs2] ? -1 : (R[in.rs1] > R[in.rs2] ? 1 : 0);
+    VM_FUSE_NEXT(1);
+    if (branch_taken(b.op, flags_)) {
+      next = static_cast<std::uint64_t>(static_cast<std::int64_t>(b.imm));
+    }
+    goto tail;
+  }
+  VM_CASE(CmpIBr) {
+    const auto imm = static_cast<std::int64_t>(in.imm);
+    flags_ = R[in.rs1] < imm ? -1 : (R[in.rs1] > imm ? 1 : 0);
+    VM_FUSE_NEXT(1);
+    if (branch_taken(b.op, flags_)) {
+      next = static_cast<std::uint64_t>(static_cast<std::int64_t>(b.imm));
+    }
+    goto tail;
+  }
+  VM_CASE(LdLd) {
+    std::uint64_t v;
+    if (!read_u64(static_cast<std::uint64_t>(
+                      R[in.rs1] + static_cast<std::int64_t>(in.imm)), v)) {
+      return stop(Trap::kBadMemory);
+    }
+    R[in.rd] = static_cast<std::int64_t>(v);
+    VM_FUSE_NEXT(2);
+    if (!read_u64(static_cast<std::uint64_t>(
+                      R[b.rs1] + static_cast<std::int64_t>(b.imm)), v)) {
+      return stop(Trap::kBadMemory);
+    }
+    R[b.rd] = static_cast<std::int64_t>(v);
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(LdAlu) {
+    std::uint64_t v;
+    if (!read_u64(static_cast<std::uint64_t>(
+                      R[in.rs1] + static_cast<std::int64_t>(in.imm)), v)) {
+      return stop(Trap::kBadMemory);
+    }
+    R[in.rd] = static_cast<std::int64_t>(v);
+    VM_FUSE_NEXT(2);
+    R[b.rd] = alu_eval(b.op, R[b.rs1], R[b.rs2]);
+    cost = alu_cost(b.op);
+    goto tail;
+  }
+  VM_CASE(LdPush) {
+    std::uint64_t v;
+    if (!read_u64(static_cast<std::uint64_t>(
+                      R[in.rs1] + static_cast<std::int64_t>(in.imm)), v)) {
+      return stop(Trap::kBadMemory);
+    }
+    R[in.rd] = static_cast<std::int64_t>(v);
+    VM_FUSE_NEXT(2);
+    {
+      const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]) - 8;
+      if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+      if (!write_u64(sp, static_cast<std::uint64_t>(R[b.rs1]))) {
+        return stop(Trap::kBadMemory);
+      }
+      R[isa::kRegSp] = static_cast<std::int64_t>(sp);
+    }
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(MovIAlu) {
+    R[in.rd] = static_cast<std::int64_t>(in.imm);
+    VM_FUSE_NEXT(1);
+    R[b.rd] = alu_eval(b.op, R[b.rs1], R[b.rs2]);
+    cost = alu_cost(b.op);
+    goto tail;
+  }
+  VM_CASE(MovPop) {
+    R[in.rd] = R[in.rs1];
+    VM_FUSE_NEXT(1);
+    {
+      const auto sp = static_cast<std::uint64_t>(R[isa::kRegSp]);
+      if (sp < stack_lo_ || sp + 8 > stack_hi_) return stop(Trap::kStackFault);
+      std::uint64_t v;
+      if (!read_u64(sp, v)) return stop(Trap::kBadMemory);
+      R[b.rd] = static_cast<std::int64_t>(v);
+      R[isa::kRegSp] = static_cast<std::int64_t>(sp + 8);
+    }
+    cost = 2;
+    goto tail;
+  }
+  VM_CASE(AluSt) {
+    R[in.rd] = alu_eval(in.op, R[in.rs1], R[in.rs2]);
+    VM_FUSE_NEXT(alu_cost(in.op));
+    if (!write_u64(static_cast<std::uint64_t>(
+                       R[b.rs1] + static_cast<std::int64_t>(b.imm)),
+                   static_cast<std::uint64_t>(R[b.rs2]))) {
+      return stop(Trap::kBadMemory);
+    }
+    cost = 2;
+    goto tail;
+  }
+
+#if !GF_VM_THREADED_DISPATCH
+  default:
+    // Unreachable: every token value has a case above.
+    --steps;
+    return stop(Trap::kBadOpcode);
+  }
+#endif
+
+tail:
+  // Error-propagation edges: only live between the first watch hit and
+  // disarm, i.e. while an injected fault is both armed and activated.
+  if (edge_live_) [[unlikely]] {
+    if (next != pc + kInstrSize) note_watch_edge(pc, next);
+  }
+  cycles += cost;
+  // Glue fast path: the successor slot is statically valid, unarmed and
+  // in-hull, so a fall-through skips the full fetch. Everything the skipped
+  // checks guard is write-immune (validity, armedness, coverage off) or
+  // re-read fresh right here (instruction bytes, token).
+  if ((xop & kXGlue) != 0 && next == pc + kInstrSize && cycles < cycle_budget) {
+    pc = next;
+    ++slot;
+    in = predecoded_[slot];
+    xop = xop_[slot];
+    ++steps;
+    next = pc + kInstrSize;
+    cost = 1;
+    goto dispatch;
+  }
+  pc = next;
+  goto fetch;
+
+#undef VM_CASE
+#undef VM_FUSE_NEXT
 }
 
 }  // namespace gf::vm

@@ -150,6 +150,22 @@ class Machine {
   void set_predecode(bool enabled);
   bool predecode() const noexcept { return predecode_; }
 
+  /// Decode-time superinstruction fusion (on by default): the predecode pass
+  /// additionally classifies each slot with an extended-opcode token so that
+  /// common adjacent pairs (compare+branch, load+ALU, ...) execute as one
+  /// handler and safe fall-throughs skip the full fetch. Architectural
+  /// effects (registers, memory, cycles, traps, retired-instruction counts,
+  /// watch traces) are identical with fusion on or off; the switch exists for
+  /// A/B benchmarking and equivalence testing. Toggling re-tokenizes in
+  /// place.
+  void set_fusion(bool enabled);
+  bool fusion() const noexcept { return fusion_; }
+
+  /// Dispatch lowering compiled into this build: "threaded" (computed-goto
+  /// labels-as-values) or "switch" (portable fallback). Selected at configure
+  /// time via the GF_VM_DISPATCH CMake option.
+  static const char* dispatch_kind() noexcept;
+
   void set_syscall_handler(SyscallHandler handler) { syscall_ = std::move(handler); }
 
   /// [lo, hi) range PUSH/POP must stay within; also used to position sp.
@@ -275,6 +291,17 @@ class Machine {
   bool in_code(std::uint64_t addr) const noexcept;
   RunResult execute(std::uint64_t pc, std::uint64_t cycle_budget);
   void rebuild_predecode();
+  /// Dispatch token for one predecoded slot: the base opcode, a fetch-failure
+  /// token (hole / armed single-step), or a fused-pair id, plus the glue bit
+  /// when the fall-through successor is statically safe to enter without a
+  /// full fetch. See machine.cpp for the token table and the safety argument.
+  std::uint8_t xop_for_slot(std::size_t s) const noexcept;
+  /// Recomputes xop_ over [lo_slot, hi_slot) (clamped). A change to slot `s`
+  /// affects the tokens of `s` and of `s - 1` (whose pair/glue looks one slot
+  /// ahead), so callers extend their range one slot to the left.
+  void rebuild_xop(std::size_t lo_slot, std::size_t hi_slot) noexcept;
+  /// rebuild_xop over the slots covering [lo, hi) plus one to the left.
+  void rebuild_xop_for_range(std::uint64_t lo, std::uint64_t hi) noexcept;
   /// Re-applies the armed bits of the active watch to the slot flags (after
   /// a predecode rebuild wiped them).
   void apply_watch_bits() noexcept;
@@ -315,11 +342,15 @@ class Machine {
   // [code_lo_, code_hi_) of all loaded ranges. slot_flags_ carries kSlotValid
   // for slots that lie inside an actual image (holes between images stay
   // kBadJump) plus kSlotArmed for slots inside the watch window; undecodable
-  // bytes predecode to Op::kOpCount_ (the kBadOpcode marker).
+  // bytes predecode to Op::kOpCount_ (the kBadOpcode marker). xop_ is the
+  // parallel dispatch-token table (fused superinstructions + glue bits),
+  // derived from predecoded_/slot_flags_ and rebuilt alongside them.
   bool predecode_ = true;
+  bool fusion_ = true;
   std::uint64_t code_lo_ = 0, code_hi_ = 0;
   std::vector<isa::Instr> predecoded_;
   std::vector<std::uint8_t> slot_flags_;
+  std::vector<std::uint8_t> xop_;
   mutable std::size_t last_range_ = 0;  ///< in_code() last-hit cache
   std::uint64_t stack_lo_ = 0, stack_hi_ = 0;
   SyscallHandler syscall_;

@@ -313,6 +313,29 @@ TEST(TraceCampaignTest, ActivationRecordsAreBitIdenticalAcrossJobs) {
   }
 }
 
+// Superinstruction fusion is a pure execution strategy (see vm/machine.h):
+// the traced campaign — activation hits, absolute first-hit cycles, edge
+// rings, outcomes, and the performance counters they key off — must be
+// bit-identical with fusion on and off, including when the armed fault
+// window lands mid-pair. tests/test_fusion.cpp covers the machine level;
+// this covers the full campaign path the CI equivalence gate exercises.
+TEST(TraceCampaignTest, ActivationRecordsAreBitIdenticalFusionOnOff) {
+  auto opt = traced_quick_options();
+  opt.jobs = 2;
+  const auto fused = depbench::CampaignRunner(opt).run_campaign();
+  opt.fusion = false;
+  const auto plain = depbench::CampaignRunner(opt).run_campaign();
+
+  ASSERT_EQ(fused.size(), 1u);
+  ASSERT_EQ(plain.size(), 1u);
+  ASSERT_EQ(fused[0].iterations.size(), plain[0].iterations.size());
+  for (std::size_t i = 0; i < fused[0].iterations.size(); ++i) {
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    expect_same_records(fused[0].iterations[i].activations,
+                        plain[0].iterations[i].activations);
+  }
+}
+
 TEST(TraceCampaignTest, OneRecordPerInjectedFaultInCanonicalOrder) {
   const auto cells =
       depbench::CampaignRunner(traced_quick_options()).run_campaign();

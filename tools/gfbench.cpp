@@ -5,7 +5,8 @@
 //   gfbench campaign --os 2000|xp --server apex|abyssal
 //                    [--faultload FILE] [--stride K] [--scale S]
 //                    [--iterations N] [--seed S] [--jobs J] [--chunk N]
-//                    [--no-steal] [--store DIR] [--resume] [--no-cache]
+//                    [--no-steal] [--no-fusion]
+//                    [--store DIR] [--resume] [--no-cache]
 //   gfbench store    <ls|verify|gc> --store DIR [--max-bytes N]
 //   gfbench show     --faultload FILE [--limit N]
 //
@@ -44,7 +45,7 @@ using namespace gf;
                "  profile  --os 2000|xp [--servers apex,abyssal,...]\n"
                "  campaign --os 2000|xp --server NAME [--faultload FILE]\n"
                "           [--stride K] [--scale S] [--iterations N] [--seed S]\n"
-               "           [--jobs J] [--chunk N] [--no-steal]\n"
+               "           [--jobs J] [--chunk N] [--no-steal] [--no-fusion]\n"
                "           [--store DIR] [--resume] [--no-cache]\n"
                "           [--store-json FILE] [--crash-after-puts N]\n"
                "           [--metrics-json FILE] [--html-report FILE]\n"
@@ -61,7 +62,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
     if (std::strncmp(argv[i], "--", 2) != 0) usage();
     const std::string key = argv[i] + 2;
     if (key == "all-symbols" || key == "no-steal" || key == "resume" ||
-        key == "no-cache") {
+        key == "no-cache" || key == "no-fusion") {
       flags[key] = "1";
     } else if (i + 1 < argc) {
       flags[key] = argv[++i];
@@ -184,6 +185,9 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
   ropt.jobs = flags.count("jobs") ? std::stoi(flags.at("jobs")) : 0;
   ropt.chunk = flags.count("chunk") ? std::stoi(flags.at("chunk")) : 0;
   ropt.steal = !flags.count("no-steal");
+  // Pure execution strategy; artifacts are byte-identical either way (the CI
+  // equivalence gate cmp's them), so it never enters the store key.
+  ropt.fusion = !flags.count("no-fusion");
   if (flags.count("shards")) {
     std::fprintf(stderr,
                  "warning: --shards is deprecated, use --chunk (both map onto "

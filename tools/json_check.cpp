@@ -7,6 +7,8 @@
 //   json_check --schema manifest FILE     genfault-campaign manifest shape
 //   json_check --schema sched FILE        scheduler A/B bench shape
 //   json_check --schema store FILE        campaign-store bench/stats shape
+//   json_check --schema micro FILE        BENCH_micro.json sanity (Release
+//                                         build context, positive rates)
 //
 // Exit 0 when every file validates; prints the first problem per file and
 // exits 1 otherwise. run_benches.sh and the CI workflow pipe every emitted
@@ -28,7 +30,8 @@ using gf::obs::json::Value;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: json_check [--jsonl] "
-               "[--schema metrics|chrome|manifest|sched|store] FILE...\n");
+               "[--schema metrics|chrome|manifest|sched|store|micro] "
+               "FILE...\n");
   std::exit(2);
 }
 
@@ -313,6 +316,82 @@ bool check_store(const std::string& file, const Value& root) {
   return true;
 }
 
+/// BENCH_micro.json (google-benchmark --benchmark_out): context sanity plus
+/// per-benchmark shape. The context check is the committed-trajectory guard:
+/// run_benches.sh injects build_type=Release (the library's own
+/// "library_build_type" describes the distro libbenchmark package, which is
+/// a debug build, NOT this project) and micro_substrate's main() reports the
+/// interpreter lowering as vm_dispatch. A BENCH_micro.json missing either is
+/// from an unguarded/by-hand run and is refused.
+bool check_micro(const std::string& file, const Value& root) {
+  static const char* kFamilies[] = {
+      "BM_VmDispatch", "BM_VmDispatchPredecoded", "BM_VmDispatchNoPredecode",
+      "BM_VmDispatchNoFusion", "BM_VmDispatchTraceDisarmed",
+      "BM_MiniCCompileOs", "BM_FaultloadScan", "BM_InjectRestore",
+      "BM_InjectRestoreInvalidate", "BM_ApiCallAlloc", "BM_ApiCallAllocObs",
+      "BM_JournalAppend", "BM_ApiCallOpenReadClose", "BM_ColdReboot",
+      "BM_SnapshotRestore", "BM_ControllerBuildCold", "BM_ControllerBuildWarm",
+      "BM_FaultloadSerialize"};
+  if (root.type != Value::Type::kObject) return fail(file, "root not object");
+  const auto* ctx = root.find("context");
+  if (!is_object(ctx)) return fail(file, "missing context{}");
+  const auto* build = ctx->find("build_type");
+  if (!is_string(build)) {
+    return fail(file, "context missing build_type (run via bench/"
+                      "run_benches.sh, which injects it after verifying the "
+                      "build dir is Release)");
+  }
+  if (build->string != "Release") {
+    return fail(file, "context.build_type is '" + build->string +
+                          "', not Release — numbers not comparable");
+  }
+  const auto* disp = ctx->find("vm_dispatch");
+  if (!is_string(disp) ||
+      (disp->string != "threaded" && disp->string != "switch")) {
+    return fail(file, "context.vm_dispatch missing or not threaded|switch");
+  }
+  const auto* cpus = ctx->find("num_cpus");
+  if (!is_number(cpus) || cpus->number <= 0) {
+    return fail(file, "context.num_cpus missing or not positive");
+  }
+  const auto* benches = root.find("benchmarks");
+  if (!is_array(benches) || benches->array.empty()) {
+    return fail(file, "missing or empty benchmarks[]");
+  }
+  bool saw_dispatch = false;
+  for (std::size_t i = 0; i < benches->array.size(); ++i) {
+    const auto& b = benches->array[i];
+    const auto at = "benchmarks[" + std::to_string(i) + "]";
+    if (b.type != Value::Type::kObject) return fail(file, at + " not object");
+    const auto* name = b.find("name");
+    if (!is_string(name)) return fail(file, at + " missing name");
+    const auto family = name->string.substr(0, name->string.find('/'));
+    bool known = false;
+    for (const char* f : kFamilies) known = known || family == f;
+    if (!known) return fail(file, at + " unknown family: " + family);
+    const auto* rt = b.find("real_time");
+    if (!is_number(rt) || rt->number <= 0) {
+      return fail(file, at + " (" + name->string + ") real_time not positive");
+    }
+    const auto* ips = b.find("items_per_second");
+    if (ips != nullptr && (!is_number(ips) || ips->number <= 0)) {
+      return fail(file,
+                  at + " (" + name->string + ") items_per_second not positive");
+    }
+    if (family == "BM_VmDispatch") {
+      if (!is_number(ips)) {
+        return fail(file, at + " BM_VmDispatch missing items_per_second");
+      }
+      saw_dispatch = true;
+    }
+  }
+  if (!saw_dispatch) {
+    return fail(file, "no BM_VmDispatch entry (the headline dispatch-rate "
+                      "trajectory point)");
+  }
+  return true;
+}
+
 bool check_file(const std::string& file, const std::string& schema,
                 bool jsonl) {
   std::ifstream f(file);
@@ -346,6 +425,7 @@ bool check_file(const std::string& file, const std::string& schema,
   if (schema == "manifest") return check_manifest(file, *v);
   if (schema == "sched") return check_sched(file, *v);
   if (schema == "store") return check_store(file, *v);
+  if (schema == "micro") return check_micro(file, *v);
   return true;
 }
 
@@ -362,7 +442,7 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage();
       schema = argv[++i];
       if (schema != "metrics" && schema != "chrome" && schema != "manifest" &&
-          schema != "sched" && schema != "store") {
+          schema != "sched" && schema != "store" && schema != "micro") {
         usage();
       }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {

@@ -66,11 +66,20 @@ struct CampaignOptions {
   /// CI/test hook: SIGKILL the process after the Nth store commit (0 = off)
   /// to exercise torn-tail recovery + resume.
   std::uint64_t crash_after_puts = 0;
+  /// Deterministic cycle profiler: per-run flat profiles + per-fault
+  /// differential flame views. The stride shapes results, so it is part of
+  /// the store key (profiled and unprofiled runs never mix).
+  std::string profile_json;  ///< genfault-profile/1 artifact path
+  std::string flame_out;     ///< collapsed-stack flamegraph path
+  std::uint64_t profile_stride = 4096;  ///< cycles between PC samples
+  bool profile() const {
+    return !profile_json.empty() || !flame_out.empty();
+  }
   bool trace() const { return activation_report || !trace_out.empty() ||
                               !activation_json.empty(); }
   /// Any artifact that needs per-task TaskObs bundles?
   bool obs() const {
-    return !metrics_json.empty() || !journal_out.empty() ||
+    return profile() || !metrics_json.empty() || !journal_out.empty() ||
            !chrome_trace.empty() || !html_report.empty();
   }
 };
@@ -137,6 +146,12 @@ inline CampaignOptions parse_options(int argc, char** argv) {
                i + 1 < argc) {
       opt.crash_after_puts =
           static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--profile-json") == 0 && i + 1 < argc) {
+      opt.profile_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--flame-out") == 0 && i + 1 < argc) {
+      opt.flame_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-stride") == 0 && i + 1 < argc) {
+      opt.profile_stride = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick|--full] [--scale S] [--stride K] "
@@ -149,7 +164,8 @@ inline CampaignOptions parse_options(int argc, char** argv) {
                    "[--journal-out FILE.jsonl] [--chrome-trace FILE] "
                    "[--html-report FILE] [--sched-json FILE] "
                    "[--store DIR] [--no-cache] [--store-json FILE] "
-                   "[--crash-after-puts N]\n",
+                   "[--crash-after-puts N] [--profile-json FILE] "
+                   "[--flame-out FILE] [--profile-stride N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -172,6 +188,8 @@ inline depbench::RunnerOptions to_runner_options(const CampaignOptions& opt) {
   ropt.warm_boot = !opt.cold_boot;
   ropt.fusion = opt.fusion;
   ropt.obs = opt.obs();
+  ropt.profile = opt.profile();
+  ropt.profile_stride = opt.profile_stride;
   return ropt;
 }
 
@@ -214,6 +232,16 @@ inline void emit_obs_outputs(const std::vector<depbench::ExperimentCell>& cells,
   if (!opt.chrome_trace.empty() && obs != nullptr) {
     write(opt.chrome_trace, depbench::campaign_chrome_trace(*obs),
           "chrome trace");
+  }
+  if (obs != nullptr) {
+    if (!opt.profile_json.empty()) {
+      write(opt.profile_json,
+            depbench::campaign_profile_json(cells, runner.options(), *obs),
+            "cycle profile");
+    }
+    if (!opt.flame_out.empty()) {
+      write(opt.flame_out, depbench::campaign_flamegraph(*obs), "flamegraph");
+    }
   }
 }
 

@@ -46,13 +46,23 @@ if [ "$BUILD_TYPE" != "Release" ]; then
 fi
 
 for bin in bench/micro_substrate bench/table5_campaign bench/campaign_steal \
-           bench/campaign_resume tools/json_check; do
+           bench/campaign_resume tools/json_check tools/gfbench \
+           tools/bench_diff; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built" \
          "(cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release &&" \
          "cmake --build $BUILD_DIR -j)" >&2
     exit 1
   fi
+done
+
+# Snapshot the previously-recorded baselines before this run overwrites
+# them: tools/bench_diff gates the new numbers against these at the end
+# (ratio metrics only, tolerance BENCH_DIFF_TOL, default 15%). Set
+# BENCH_DIFF=0 to record a fresh trajectory point without gating.
+BASE_DIR=$(mktemp -d)
+for f in "$OUT" "$SNAP_OUT" "$OBS_OUT" "$SCHED_OUT" "$STORE_OUT"; do
+  [ -f "$f" ] && cp "$f" "$BASE_DIR/$(basename "$f")"
 done
 
 "$BUILD_DIR/bench/micro_substrate" \
@@ -119,6 +129,9 @@ obs_json=$(awk '
     if (name ~ /^BM_VmDispatch\/100000$/ && !(name in seen)) {
       dispatch = t; seen[name] = 1
     }
+    if (name ~ /^BM_VmDispatchProfiled\/100000$/ && !(name in seen)) {
+      profiled = t; seen[name] = 1
+    }
   }
   /"real_time":/ {
     t = $0; sub(/.*"real_time": /, "", t); sub(/,.*/, "", t)
@@ -126,14 +139,29 @@ obs_json=$(awk '
     if (name == "BM_ApiCallAllocObs" && !(name in seen)) { obs = t; seen[name] = 1 }
   }
   END {
-    if (dispatch == "" || plain == "" || obs == "" || plain + 0 == 0) exit 1
+    if (dispatch == "" || profiled == "" || plain == "" || obs == "" || \
+        plain + 0 == 0 || dispatch + 0 == 0) exit 1
     printf "  \"vm_dispatch_items_per_s\": %s,\n", dispatch
+    printf "  \"vm_dispatch_profiled_items_per_s\": %s,\n", profiled
+    printf "  \"profiler_armed_retention_rate\": %.3f,\n", profiled / dispatch
     printf "  \"api_call_ns\": %s,\n  \"api_call_obs_ns\": %s,\n", plain, obs
     printf "  \"api_obs_overhead\": %.3f", obs / plain
   }' "$OUT")
 
+# Acceptance bar: the armed sampler (stride 4096) must retain >= 80% of the
+# plain dispatch rate. Disarmed retention is covered by BM_VmDispatch itself
+# (the countdown idles; the branch never fires) and the committed-baseline
+# gate below.
+echo "$obs_json" | awk '/profiler_armed_retention_rate/ {
+    r = $0; sub(/.*: /, "", r); sub(/,.*/, "", r)
+    if (r + 0 < 0.80) {
+      printf "error: armed profiler retains only %.1f%% of dispatch rate (bar: 80%%)\n", r * 100 > "/dev/stderr"
+      exit 1
+    }
+  }'
+
 OBS_DIR=$(mktemp -d)
-trap 'rm -rf "$OBS_DIR"' EXIT
+trap 'rm -rf "$OBS_DIR" "$BASE_DIR"' EXIT
 t0=$(now_ms)
 "$BUILD_DIR/bench/table5_campaign" "${AB_ARGS[@]}" \
   --metrics-json "$OBS_DIR/manifest.json" \
@@ -170,6 +198,21 @@ echo "scheduler A/B written to $SCHED_OUT" >&2
   --out "$STORE_OUT" 2> /dev/null
 echo "campaign store A/B written to $STORE_OUT" >&2
 
+# Deterministic profiler + cross-campaign diff: a short profiled campaign
+# emits the cycle-profile artifact, the flamegraph and a profiled manifest;
+# a self-diff of that manifest must be drift-free (exit 0).
+"$BUILD_DIR/bench/table5_campaign" "${AB_ARGS[@]}" \
+  --metrics-json "$OBS_DIR/pmanifest.json" \
+  --profile-json "$OBS_DIR/profile.json" \
+  --flame-out "$OBS_DIR/flame.txt" > /dev/null 2>&1
+if [ ! -s "$OBS_DIR/flame.txt" ]; then
+  echo "error: profiled campaign produced an empty flamegraph" >&2
+  exit 1
+fi
+"$BUILD_DIR/tools/gfbench" diff "$OBS_DIR/pmanifest.json" \
+  "$OBS_DIR/pmanifest.json" --json "$OBS_DIR/selfdiff.json" > /dev/null
+echo "profiled campaign + self-diff ok" >&2
+
 # Validate every emitted JSON artifact; a malformed emitter fails the run
 # loudly here instead of producing quietly-broken dashboards downstream.
 "$BUILD_DIR/tools/json_check" "$ACT_OUT" "$SNAP_OUT" "$OBS_OUT"
@@ -177,6 +220,23 @@ echo "campaign store A/B written to $STORE_OUT" >&2
 "$BUILD_DIR/tools/json_check" --schema sched "$SCHED_OUT"
 "$BUILD_DIR/tools/json_check" --schema store "$STORE_OUT"
 "$BUILD_DIR/tools/json_check" --schema manifest "$OBS_DIR/manifest.json"
+"$BUILD_DIR/tools/json_check" --schema manifest "$OBS_DIR/pmanifest.json"
+"$BUILD_DIR/tools/json_check" --schema profile "$OBS_DIR/profile.json"
+"$BUILD_DIR/tools/json_check" --schema diff "$OBS_DIR/selfdiff.json"
 "$BUILD_DIR/tools/json_check" --schema chrome "$OBS_DIR/trace.json"
 "$BUILD_DIR/tools/json_check" --jsonl "$OBS_DIR/journal.jsonl"
 echo "artifact validation ok" >&2
+
+# Regression gate: the fresh numbers against the baselines committed before
+# this run. Only dimensionless ratio metrics gate; absolute timings are
+# machine-dependent and informational. BENCH_micro.json is all absolute
+# timings, so it records the trajectory but never gates.
+if [ "${BENCH_DIFF:-1}" != "0" ]; then
+  for f in "$SNAP_OUT" "$OBS_OUT" "$SCHED_OUT" "$STORE_OUT"; do
+    base="$BASE_DIR/$(basename "$f")"
+    [ -f "$base" ] || continue
+    "$BUILD_DIR/tools/bench_diff" "$base" "$f" \
+      --tolerance "${BENCH_DIFF_TOL:-15}"
+  done
+  echo "bench_diff gate ok" >&2
+fi

@@ -1,0 +1,262 @@
+#include "depbench/campaign_diff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/profile.h"
+
+namespace gf::depbench {
+
+namespace {
+
+using obs::json::Value;
+
+// The derived §3.2 metrics gated per cell, in report order.
+constexpr const char* kDerivedKeys[] = {"spcf",    "thrf",    "rtmf",
+                                        "erf_pct", "admf",    "spc_rel",
+                                        "thr_rel"};
+// Failure-mode counters summed over iterations; faults_injected is campaign
+// shape, not a dependability outcome, so it is reported but never gates.
+constexpr const char* kGatedCounters[] = {"mis", "kns", "kcp",
+                                          "self_restarts"};
+
+std::string fmt2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+/// Relative drift in percent. Both zero = 0; a value appearing from (or
+/// collapsing to) zero is unbounded drift, clamped for display but always
+/// beyond any threshold.
+double drift_pct(double oldv, double newv) {
+  if (oldv == newv) return 0;
+  const double denom = std::abs(oldv);
+  if (denom < 1e-12) return 1e9;
+  return 100.0 * std::abs(newv - oldv) / denom;
+}
+
+double num(const Value* v) { return v != nullptr && v->is_number() ? v->number : 0; }
+
+std::string cell_name(const Value& cell) {
+  const auto* os = cell.find("os");
+  const auto* server = cell.find("server");
+  return (os != nullptr ? os->string : "?") + "/" +
+         (server != nullptr ? server->string : "?");
+}
+
+/// Sums one counter over a cell's iterations.
+double counter_sum(const Value& cell, const char* key) {
+  double sum = 0;
+  if (const auto* iters = cell.find("iterations"); iters != nullptr) {
+    for (const auto& it : iters->array) {
+      if (const auto* c = it.find("counters"); c != nullptr) {
+        sum += num(c->find(key));
+      }
+    }
+  }
+  return sum;
+}
+
+/// Rebuilds an obs::Profile from a manifest profile object.
+obs::Profile profile_from(const Value* v) {
+  obs::Profile p;
+  if (v == nullptr || !v->is_object()) return p;
+  p.stride = static_cast<std::uint64_t>(num(v->find("stride")));
+  if (const auto* fns = v->find("functions"); fns != nullptr) {
+    for (const auto& [name, n] : fns->object) {
+      if (n.is_number()) p.add(name, static_cast<std::uint64_t>(n.number));
+    }
+  }
+  return p;
+}
+
+/// The cell's profile entry in the manifest "profiles" section, or null.
+const Value* profiles_entry(const Value& root, const std::string& cell) {
+  const auto* profiles = root.find("profiles");
+  if (profiles == nullptr || !profiles->is_array()) return nullptr;
+  for (const auto& e : profiles->array) {
+    if (const auto* c = e.find("cell"); c != nullptr && c->string == cell) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+bool check_manifest_shape(const Value& root, const char* which,
+                          std::string& error) {
+  const auto* schema = root.find("schema");
+  if (schema == nullptr || schema->string != "genfault-campaign/1") {
+    error = std::string(which) + ": not a genfault-campaign/1 manifest";
+    return false;
+  }
+  const auto* cells = root.find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    error = std::string(which) + ": missing cells array";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CampaignDiff diff_campaigns(const std::string& old_manifest,
+                            const std::string& new_manifest,
+                            const DiffOptions& opt) {
+  CampaignDiff d;
+  std::string perr;
+  const auto oldv = obs::json::parse(old_manifest, &perr);
+  if (!oldv) {
+    d.error = "OLD: " + perr;
+    return d;
+  }
+  const auto newv = obs::json::parse(new_manifest, &perr);
+  if (!newv) {
+    d.error = "NEW: " + perr;
+    return d;
+  }
+  if (!check_manifest_shape(*oldv, "OLD", d.error) ||
+      !check_manifest_shape(*newv, "NEW", d.error)) {
+    return d;
+  }
+  d.ok = true;
+
+  const auto& old_cells = oldv->find("cells")->array;
+  const auto& new_cells = newv->find("cells")->array;
+  auto find_cell = [](const std::vector<Value>& cells,
+                      const std::string& name) -> const Value* {
+    for (const auto& c : cells) {
+      if (cell_name(c) == name) return &c;
+    }
+    return nullptr;
+  };
+
+  std::string js = "{\n\"schema\": \"genfault-diff/1\",\n";
+  js += "\"threshold_pct\": " + obs::json::number(opt.threshold_pct) + ",\n";
+  std::string cells_js = "\"cells\": [";
+  std::string txt;
+  bool first_cell = true;
+
+  // Walk the OLD manifest's cell order (canonical); report NEW-only cells
+  // separately. A vanished or added cell is itself a breach — the campaign
+  // matrix changed shape.
+  std::vector<std::string> missing, added;
+  for (const auto& oc : old_cells) {
+    const auto name = cell_name(oc);
+    if (find_cell(new_cells, name) == nullptr) missing.push_back(name);
+  }
+  for (const auto& nc : new_cells) {
+    const auto name = cell_name(nc);
+    if (find_cell(old_cells, name) == nullptr) added.push_back(name);
+  }
+  if (!missing.empty() || !added.empty()) d.breached = true;
+
+  for (const auto& oc : old_cells) {
+    const auto name = cell_name(oc);
+    const auto* nc = find_cell(new_cells, name);
+    if (nc == nullptr) continue;
+    cells_js += first_cell ? "\n" : ",\n";
+    first_cell = false;
+    cells_js += "{\"cell\": \"" + obs::json::escape(name) + "\",\n";
+    std::string cell_txt;
+
+    // Derived-metric drift.
+    cells_js += " \"derived\": [";
+    const auto* od = oc.find("derived");
+    const auto* nd = nc->find("derived");
+    bool first = true;
+    for (const auto* key : kDerivedKeys) {
+      const double ov = od != nullptr ? num(od->find(key)) : 0;
+      const double nv = nd != nullptr ? num(nd->find(key)) : 0;
+      const double drift = drift_pct(ov, nv);
+      const bool breach = drift > opt.threshold_pct;
+      if (breach) d.breached = true;
+      cells_js += first ? "" : ", ";
+      first = false;
+      cells_js += "{\"metric\": \"" + std::string(key) +
+                  "\", \"old\": " + obs::json::number(ov) +
+                  ", \"new\": " + obs::json::number(nv) +
+                  ", \"drift_pct\": " + obs::json::number(drift) +
+                  ", \"breach\": " + (breach ? "true" : "false") + "}";
+      if (drift > 0) {
+        cell_txt += "  " + std::string(key) + ": " + fmt2(ov) + " -> " +
+                    fmt2(nv) + " (" + fmt2(drift) + "% drift" +
+                    (breach ? ", BREACH)\n" : ")\n");
+      }
+    }
+    cells_js += "],\n";
+
+    // Failure-mode counter drift (summed over iterations).
+    cells_js += " \"counters\": [";
+    first = true;
+    auto emit_counter = [&](const char* key, bool gated) {
+      const double ov = counter_sum(oc, key);
+      const double nv = counter_sum(*nc, key);
+      const double drift = drift_pct(ov, nv);
+      const bool breach = gated && drift > opt.threshold_pct;
+      if (breach) d.breached = true;
+      cells_js += first ? "" : ", ";
+      first = false;
+      cells_js += "{\"counter\": \"" + std::string(key) +
+                  "\", \"old\": " + obs::json::number(ov) +
+                  ", \"new\": " + obs::json::number(nv) +
+                  ", \"breach\": " + (breach ? "true" : "false") + "}";
+      if (ov != nv) {
+        cell_txt += "  " + std::string(key) + ": " + fmt2(ov) + " -> " +
+                    fmt2(nv) + (breach ? " (BREACH)\n" : "\n");
+      }
+    };
+    for (const auto* key : kGatedCounters) emit_counter(key, true);
+    emit_counter("faults_injected", false);
+    cells_js += "],\n";
+
+    // Profile divergence OLD-vs-NEW (merged fault profiles), when both
+    // manifests carry a profiles section for this cell. Informational
+    // ranking — the derived metrics and counters are the gate.
+    const auto* op = profiles_entry(*oldv, name);
+    const auto* np = profiles_entry(*newv, name);
+    cells_js += " \"profile_divergence\": ";
+    if (op != nullptr && np != nullptr) {
+      const auto base = profile_from(op->find("faults"));
+      const auto cur = profile_from(np->find("faults"));
+      const auto div = obs::profile_divergence(base, cur);
+      cells_js += div.to_json(opt.top_n);
+      if (div.score > 0) {
+        cell_txt += "  profile divergence: " + fmt2(div.score);
+        if (!div.deltas.empty()) {
+          cell_txt += " (top: " + div.deltas.front().name + " " +
+                      fmt2(div.deltas.front().delta * 100) + "pp)";
+        }
+        cell_txt += "\n";
+      }
+    } else {
+      cells_js += "null";
+    }
+    cells_js += "}";
+    if (!cell_txt.empty()) txt += name + "\n" + cell_txt;
+  }
+  cells_js += first_cell ? "],\n" : "\n],\n";
+
+  js += cells_js;
+  js += "\"missing_cells\": [";
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    js += (i == 0 ? "\"" : ", \"") + obs::json::escape(missing[i]) + "\"";
+  }
+  js += "],\n\"added_cells\": [";
+  for (std::size_t i = 0; i < added.size(); ++i) {
+    js += (i == 0 ? "\"" : ", \"") + obs::json::escape(added[i]) + "\"";
+  }
+  js += "],\n";
+  js += "\"breached\": " + std::string(d.breached ? "true" : "false") + "\n}\n";
+  d.json = js;
+
+  for (const auto& name : missing) txt += "missing cell: " + name + "\n";
+  for (const auto& name : added) txt += "added cell: " + name + "\n";
+  if (txt.empty()) txt = "no drift\n";
+  d.text = txt;
+  return d;
+}
+
+}  // namespace gf::depbench

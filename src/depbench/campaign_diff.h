@@ -1,0 +1,41 @@
+// Cross-campaign comparator: the dependability regression gate.
+//
+// Diffs two "genfault-campaign/1" manifests cell by cell: derived §3.2
+// metric drift (SPCf, THRf, RTMf, ERf, ADMf, relative retention), failure-
+// mode counter drift (MIS/KNS/KCP/self-restarts summed over iterations),
+// and — when both campaigns were profiled — the divergence between their
+// merged fault cycle profiles, ranked per cell. Any drift beyond the
+// threshold marks the diff breached; `gfbench diff` turns that into a
+// nonzero exit, so CI can gate on "did this change move the benchmark".
+//
+// A campaign self-diff is exactly zero drift everywhere (manifests are
+// canonical renderings), so the gate never fires on a byte-identical rerun.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gf::depbench {
+
+struct DiffOptions {
+  /// Relative drift (percent) beyond which a metric counts as a breach.
+  double threshold_pct = 10.0;
+  /// Ranked entries emitted per list (profile deltas per cell).
+  std::size_t top_n = 10;
+};
+
+struct CampaignDiff {
+  bool ok = false;        ///< both manifests parsed as genfault-campaign/1
+  bool breached = false;  ///< some drift exceeded the threshold
+  std::string error;      ///< parse/shape diagnostics when !ok
+  std::string text;       ///< human-readable drift report
+  std::string json;       ///< canonical "genfault-diff/1" document
+};
+
+/// Compares two manifest documents (raw JSON text). Deterministic: the
+/// report and JSON depend only on the two inputs and the options.
+CampaignDiff diff_campaigns(const std::string& old_manifest,
+                            const std::string& new_manifest,
+                            const DiffOptions& opt = {});
+
+}  // namespace gf::depbench

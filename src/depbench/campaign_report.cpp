@@ -43,7 +43,8 @@ std::string derived_json(const DependabilityMetrics& d) {
 
 // Only result-shaping options appear here: scheduling knobs (jobs, chunk,
 // shards, steal) deliberately do not, so the manifest stays byte-identical
-// for any worker count or chunk decomposition.
+// for any worker count or chunk decomposition. profile_stride shapes the
+// profiles section, hence its presence (0 = profiling off).
 std::string options_json(const RunnerOptions& opt) {
   return "{\"iterations\": " + std::to_string(opt.iterations) +
          ", \"stride\": " + std::to_string(opt.stride) +
@@ -51,7 +52,9 @@ std::string options_json(const RunnerOptions& opt) {
          ", \"baseline_window_ms\": " + number(opt.baseline_window_ms) +
          ", \"seed\": " + std::to_string(opt.seed) +
          ", \"warm_boot\": " + (opt.warm_boot ? "true" : "false") +
-         ", \"trace\": " + (opt.trace ? "true" : "false") + "}";
+         ", \"trace\": " + (opt.trace ? "true" : "false") +
+         ", \"profile_stride\": " +
+         std::to_string(opt.profile ? opt.profile_stride : 0) + "}";
 }
 
 // Minimal HTML escaping for the few strings we interpolate.
@@ -100,6 +103,28 @@ std::string campaign_manifest_json(const std::vector<ExperimentCell>& cells,
     out += " \"derived\": " + derived_json(derive_metrics(cell)) + "}";
   }
   out += "\n],\n";
+  // Per-cell profile section (per-run drill-down lives in the
+  // --profile-json artifact): the baseline and merged-fault profiles at
+  // function granularity — enough for `gfbench diff` to compare campaigns —
+  // plus the top share deltas of the fault-vs-baseline differential. Null
+  // when the campaign ran unprofiled.
+  out += "\"profiles\": ";
+  const auto profiles =
+      obs != nullptr ? collect_profiles(*obs) : std::vector<CellProfiles>{};
+  if (profiles.empty()) {
+    out += "null,\n";
+  } else {
+    out += "[";
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      const auto& cp = profiles[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "{\"cell\": \"" + escape(cp.cell) +
+             "\", \"baseline\": " + cp.baseline.to_json() +
+             ", \"faults\": " + cp.faults.to_json() + ", \"divergence\": " +
+             profile_divergence(cp.baseline, cp.faults).to_json(10) + "}";
+    }
+    out += "\n],\n";
+  }
   out += "\"metrics\": ";
   out += obs != nullptr ? obs->metrics.to_json() : std::string("null\n");
   out += "}\n";
@@ -185,6 +210,35 @@ std::string campaign_html_report(const std::vector<ExperimentCell>& cells,
     out += "</table>\n</details>\n";
   }
 
+  // Cycle attribution: where each cell's execution went under faults vs its
+  // baseline (top-10 share deltas of the differential profile), plus an
+  // inline flame bar per function scaled to the faulty-run share.
+  if (obs != nullptr) {
+    const auto profiles = collect_profiles(*obs);
+    if (!profiles.empty()) {
+      out += "<h2>Cycle profiles (fault vs baseline)</h2>\n";
+      for (const auto& cp : profiles) {
+        const auto div = profile_divergence(cp.baseline, cp.faults);
+        out += "<details><summary>" + html(cp.cell) + " &mdash; divergence " +
+               fmt2(div.score) + "</summary>\n<table>\n"
+               "<tr><th class=l>function</th><th>baseline %</th>"
+               "<th>faulty %</th><th>&Delta; pp</th><th class=l></th></tr>\n";
+        const std::size_t top = std::min<std::size_t>(10, div.deltas.size());
+        for (std::size_t i = 0; i < top; ++i) {
+          const auto& fd = div.deltas[i];
+          const int w = static_cast<int>(fd.fault_share * 200);
+          out += "<tr><td class=l>" + html(fd.name) + "</td><td>" +
+                 fmt2(fd.base_share * 100) + "</td><td>" +
+                 fmt2(fd.fault_share * 100) + "</td><td>" +
+                 fmt2(fd.delta * 100) + "</td><td class=l><span class=bar "
+                 "style=\"width:" + std::to_string(w) +
+                 "px\"></span></td></tr>\n";
+        }
+        out += "</table>\n</details>\n";
+      }
+    }
+  }
+
   // Merged metrics drill-down (counters only; histograms live in the JSON).
   if (obs != nullptr) {
     out += "<h2>Campaign metrics</h2>\n<details><summary>" +
@@ -211,6 +265,64 @@ std::string campaign_html_report(const std::vector<ExperimentCell>& cells,
   }
 
   out += "</body></html>\n";
+  return out;
+}
+
+std::vector<CellProfiles> collect_profiles(const CampaignObs& obs) {
+  std::vector<CellProfiles> out;
+  for (const auto& slot : obs.tasks) {
+    if (slot.obs.profile.stride == 0) continue;  // profiling off / empty slot
+    if (out.empty() || out.back().cell != slot.cell) {
+      out.push_back({slot.cell, {}, {}, {}});
+    }
+    auto& cp = out.back();
+    if (slot.label == "baseline") {
+      cp.baseline.merge(slot.obs.profile);
+    } else {
+      cp.faults.merge(slot.obs.profile);
+      cp.runs.emplace_back(slot.label, slot.obs.profile);
+    }
+  }
+  return out;
+}
+
+std::string campaign_profile_json(const std::vector<ExperimentCell>& cells,
+                                  const RunnerOptions& opt,
+                                  const CampaignObs& obs) {
+  (void)cells;
+  std::string out = "{\n\"schema\": \"genfault-profile/1\",\n";
+  out += "\"stride\": " +
+         std::to_string(opt.profile ? opt.profile_stride : 0) + ",\n";
+  out += "\"cells\": [";
+  const auto profiles = collect_profiles(obs);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& cp = profiles[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"cell\": \"" + escape(cp.cell) + "\",\n";
+    out += " \"baseline\": " + cp.baseline.to_json() + ",\n";
+    out += " \"faults\": " + cp.faults.to_json() + ",\n";
+    out += " \"divergence\": " +
+           profile_divergence(cp.baseline, cp.faults).to_json() + ",\n";
+    out += " \"runs\": [";
+    for (std::size_t k = 0; k < cp.runs.size(); ++k) {
+      const auto& [label, prof] = cp.runs[k];
+      out += k == 0 ? "\n" : ",\n";
+      out += "  {\"label\": \"" + escape(label) +
+             "\", \"profile\": " + prof.to_json() + ", \"divergence\": " +
+             profile_divergence(cp.baseline, prof).to_json(10) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+std::string campaign_flamegraph(const CampaignObs& obs) {
+  std::string out;
+  for (const auto& slot : obs.tasks) {
+    if (slot.obs.profile.stride == 0) continue;
+    obs::append_collapsed(out, slot.cell + ";" + slot.label, slot.obs.profile);
+  }
   return out;
 }
 

@@ -34,6 +34,34 @@ std::string campaign_html_report(const std::vector<ExperimentCell>& cells,
 /// "<cell>/<label>") — byte-identical for any --jobs.
 void write_campaign_journal(std::ostream& os, const CampaignObs& obs);
 
+/// One cell's profiles, collected from the task slots in slot order:
+/// the baseline run's profile, the merge of every fault run's profile, and
+/// the per-run profiles themselves (fault runs only, slot order).
+struct CellProfiles {
+  std::string cell;  ///< "VOS-2000/apex"
+  obs::Profile baseline;
+  obs::Profile faults;  ///< merged over all fault runs of the cell
+  std::vector<std::pair<std::string, obs::Profile>> runs;  ///< label, profile
+};
+
+/// Groups the campaign's per-task profiles by cell, in slot order. Empty
+/// when the campaign ran without profiling (no slot carries a stride).
+std::vector<CellProfiles> collect_profiles(const CampaignObs& obs);
+
+/// JSON profile artifact (schema "genfault-profile/1"): per cell the
+/// baseline profile, the merged fault profile, their differential
+/// (divergence score + ranked per-function share deltas), and every fault
+/// run's profile with its own differential against the baseline. Canonical
+/// rendering — byte-identical for any scheduling/fusion/store-hit pattern.
+std::string campaign_profile_json(const std::vector<ExperimentCell>& cells,
+                                  const RunnerOptions& opt,
+                                  const CampaignObs& obs);
+
+/// Collapsed-stack flamegraph of the whole campaign (one line per
+/// (cell, run, function): "cell;label;function N"), in slot order —
+/// feedable straight into flamegraph.pl / speedscope.
+std::string campaign_flamegraph(const CampaignObs& obs);
+
 /// Chrome trace-event JSON of the whole campaign: shard tasks on host
 /// wall-clock (pid 1) + per-task journals on VM virtual time (pid 2).
 std::string campaign_chrome_trace(const CampaignObs& obs);

@@ -1,6 +1,7 @@
 #include "depbench/controller.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 
@@ -90,10 +91,39 @@ void Controller::obs_end_run(const spec::WindowMetrics& m) {
   if (!inv.heap_ok || !inv.handles_ok) r.add("kernel.invariant_violations");
 }
 
+void Controller::profile_begin() {
+  if (cfg_.profile_stride == 0 || cfg_.obs == nullptr) return;
+  kernel_->machine().arm_sampler(cfg_.profile_stride);
+}
+
+void Controller::profile_end() {
+  if (cfg_.profile_stride == 0 || cfg_.obs == nullptr) return;
+  auto& m = kernel_->machine();
+  auto& p = cfg_.obs->profile;
+  p.stride = cfg_.profile_stride;
+  // Attribute each sampled pc to the function containing it in the pristine
+  // image (injection patches never move symbol boundaries). Samples outside
+  // any symbol — holes, mutated control flow into padding — get a stable
+  // hex label so nothing is silently dropped and totals stay exact.
+  const auto& img = kernel_->pristine_image();
+  for (const auto& [pc, n] : m.samples()) {
+    if (const auto* sym = img.symbol_at(pc); sym != nullptr) {
+      p.add(sym->name, n);
+    } else {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "0x%llx",
+                    static_cast<unsigned long long>(pc));
+      p.add(buf, n);
+    }
+  }
+  m.disarm_sampler();
+}
+
 spec::WindowMetrics Controller::run_baseline(double duration_ms,
                                              std::uint64_t seed) {
   obs_begin_run();
   bring_up();
+  profile_begin();
   if (cfg_.obs != nullptr) {
     cfg_.obs->journal.begin("baseline", 0, kernel_->machine().total_cycles());
   }
@@ -105,6 +135,7 @@ spec::WindowMetrics Controller::run_baseline(double duration_ms,
     cfg_.obs->journal.end("baseline", duration_ms,
                           kernel_->machine().total_cycles());
   }
+  profile_end();
   obs_end_run(m);
   return m;
 }
@@ -114,6 +145,7 @@ spec::WindowMetrics Controller::run_profile_mode(const swfit::Faultload& fl,
                                                  std::uint64_t seed) {
   obs_begin_run();
   bring_up();
+  profile_begin();
   if (cfg_.obs != nullptr) {
     cfg_.obs->journal.begin("profile", 0, kernel_->machine().total_cycles());
   }
@@ -153,6 +185,7 @@ spec::WindowMetrics Controller::run_profile_mode(const swfit::Faultload& fl,
     cfg_.obs->journal.end("profile", duration_ms,
                           kernel_->machine().total_cycles());
   }
+  profile_end();
   obs_end_run(m);
   return m;
 }
@@ -165,6 +198,7 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
   }
   obs_begin_run();
   bring_up();
+  profile_begin();
 
   spec::WorkloadGenerator gen(*fileset_, seed);
   const auto stride = static_cast<std::size_t>(std::max(1, cfg_.fault_stride));
@@ -386,6 +420,7 @@ IterationResult Controller::run_iteration(const swfit::Faultload& fl,
   }
   // Harvest (incl. the end-state invariant probe) before the scrub reboot
   // erases what the iteration did to the kernel.
+  profile_end();
   obs_end_run(metrics);
   kernel_->reboot();
 

@@ -56,6 +56,13 @@ struct ControllerConfig {
   /// live (more precise latency attribution for latent corruption, at a
   /// per-call walk cost). Only meaningful when `trace` is on.
   bool trace_probe_per_call = false;
+  /// Virtual-cycle sampling stride for the deterministic guest profiler
+  /// (0 = off). When set (and `obs` is non-null) the VM's PC sampler is
+  /// armed after bring-up and harvested into obs->profile before the run's
+  /// scrub, attributed to functions via the pristine image's symbol table.
+  /// Arming after bring-up keeps cold-built and warm-snapshot controllers
+  /// bit-identical (boot/start/warm-up cycles are excluded either way).
+  std::uint64_t profile_stride = 0;
   /// Per-task observability bundle (metrics + journal), owned by the caller.
   /// Null (the default) compiles the campaign down to a handful of
   /// never-taken branches at run boundaries — the hot paths are untouched.
@@ -126,6 +133,13 @@ class Controller {
   /// window tallies) into the task registry. No-ops without cfg_.obs.
   void obs_begin_run();
   void obs_end_run(const spec::WindowMetrics& m);
+
+  /// Guest profiler window: begin arms the VM's PC sampler (after bring-up,
+  /// so boot cycles never pollute the profile), end harvests the samples
+  /// into obs->profile attributed by function symbol and disarms. No-ops
+  /// unless cfg_.profile_stride != 0 and cfg_.obs is set.
+  void profile_begin();
+  void profile_end();
 
   ControllerConfig cfg_;
   vm::DispatchStats obs_vm_base_;

@@ -34,6 +34,7 @@ ControllerConfig cell_config(const std::string& server,
   cfg.fault_stride = opt.stride;
   cfg.trace = opt.trace;
   cfg.trace_probe_per_call = opt.trace_probe_per_call;
+  cfg.profile_stride = opt.profile ? opt.profile_stride : 0;
   return cfg;
 }
 
@@ -93,6 +94,9 @@ store::KeyBuilder cell_key_base(const RunnerOptions& opt,
   // a record cached without them must read as a miss, never as a wrong hit.
   kb.u64(cfg.trace ? 1 : 0).u64(cfg.trace_probe_per_call ? 1 : 0);
   kb.u64(opt.obs ? 1 : 0);
+  // The sampling stride shapes the recorded profile (0 = off), so records
+  // cached at one stride never serve a campaign run at another.
+  kb.u64(cfg.profile_stride);
   const auto& cl = cfg.client;
   kb.u64(static_cast<std::uint64_t>(cl.connections));
   kb.f64(cl.conn_bandwidth_kbps).f64(cl.conforming_kbps);

@@ -96,6 +96,16 @@ struct RunnerOptions {
   /// journal are byte-identical for any `jobs` at fixed shards/seed; see
   /// CampaignObs for the shard-invariance contract.
   bool obs = false;
+  /// Deterministic guest profiler: arm the VM's virtual-cycle PC sampler for
+  /// every run at `profile_stride` and collect per-function flat profiles
+  /// through the TaskObs slots (requires `obs`; the tools force it on).
+  /// Samples tick only at retired architectural-step boundaries, so the
+  /// merged profiles — and everything derived from them (--profile-json,
+  /// flamegraphs, manifest section) — are byte-identical for any jobs,
+  /// chunk, steal, fusion, dispatch lowering or store-hit pattern. The
+  /// stride shapes results, so it IS part of the store key (unlike fusion).
+  bool profile = false;
+  std::uint64_t profile_stride = 4096;
   /// Optional live progress reporter (rate-limited stderr, ETA). Never
   /// feeds the deterministic artifacts.
   obs::ProgressReporter* progress = nullptr;

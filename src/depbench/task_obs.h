@@ -9,6 +9,7 @@
 
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace gf::depbench {
 
@@ -16,6 +17,9 @@ struct TaskObs {
   obs::Registry metrics;
   obs::ApiMetrics api;
   obs::Journal journal;
+  /// Per-run cycle profile (empty unless the campaign runs with profiling
+  /// on); attributed to functions by the controller at harvest.
+  obs::Profile profile;
   /// Host wall-clock task bounds relative to campaign start, stamped by the
   /// runner (Chrome trace host view only — never merged into the
   /// deterministic artifacts).

@@ -44,7 +44,18 @@ std::string chrome_trace_json(const std::vector<TaskTrack>& tracks) {
   // already in chronological order, so per-track timestamps stay monotone.
   for (const auto& t : tracks) {
     if (t.journal == nullptr) continue;
-    for (const auto& e : t.journal->events()) {
+    const auto events = t.journal->events();
+    if (t.journal->dropped() > 0 && !events.empty()) {
+      // The ring wrapped: mark the cut at the first surviving event's
+      // timestamp so the lost-history gap is visible in the viewer.
+      out += "{\"ph\": \"i\", \"pid\": " + std::to_string(kVirtualPid) +
+             ", \"tid\": " + std::to_string(t.tid) +
+             ", \"ts\": " + json::number(events.front().sim_ms * 1000.0) +
+             ", \"name\": \"journal truncated\", \"cat\": \"slot\", \"s\": "
+             "\"t\", \"args\": {\"truncated\": " +
+             std::to_string(t.journal->dropped()) + "}},\n";
+    }
+    for (const auto& e : events) {
       out += "{\"ph\": \"";
       out += phase_letter(e.phase);
       out += "\", \"pid\": " + std::to_string(kVirtualPid) +

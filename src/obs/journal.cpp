@@ -48,6 +48,13 @@ Journal Journal::restore(std::size_t capacity, std::uint64_t dropped,
 }
 
 void write_jsonl(std::ostream& os, const std::string& track, const Journal& j) {
+  if (j.dropped() > 0) {
+    // Head record: the ring wrapped and the oldest N events are gone. The
+    // per-event seq still starts at N, so the gap is visible either way;
+    // this makes it explicit for consumers that don't count.
+    os << "{\"track\": \"" << json::escape(track)
+       << "\", \"truncated\": " << j.dropped() << "}\n";
+  }
   std::uint64_t seq = j.dropped();  // dropped events leave a visible gap
   for (const auto& e : j.events()) {
     os << "{\"track\": \"" << json::escape(track) << "\", \"seq\": " << seq++

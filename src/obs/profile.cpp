@@ -1,0 +1,109 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace gf::obs {
+
+void Profile::add(const std::string& fn, std::uint64_t n) {
+  if (n == 0) return;
+  functions[fn] += n;
+  total += n;
+}
+
+void Profile::merge(const Profile& other) {
+  if (stride == 0) stride = other.stride;
+  for (const auto& [name, n] : other.functions) {
+    functions[name] += n;
+  }
+  total += other.total;
+}
+
+double Profile::share(const std::string& fn) const noexcept {
+  if (total == 0) return 0;
+  const auto it = functions.find(fn);
+  if (it == functions.end()) return 0;
+  return static_cast<double>(it->second) / static_cast<double>(total);
+}
+
+std::string Profile::to_json() const {
+  std::string out = "{\"stride\": " + std::to_string(stride) +
+                    ", \"total\": " + std::to_string(total) +
+                    ", \"functions\": {";
+  bool first = true;
+  for (const auto& [name, n] : functions) {  // std::map: sorted keys
+    out += first ? "" : ", ";
+    first = false;
+    out += "\"" + json::escape(name) + "\": " + std::to_string(n);
+  }
+  out += "}}";
+  return out;
+}
+
+Divergence profile_divergence(const Profile& base, const Profile& fault) {
+  Divergence d;
+  // Union of both function sets, via the sorted maps.
+  std::map<std::string, FunctionDelta> union_;
+  for (const auto& [name, n] : base.functions) {
+    auto& fd = union_[name];
+    fd.name = name;
+    fd.base_samples = n;
+  }
+  for (const auto& [name, n] : fault.functions) {
+    auto& fd = union_[name];
+    fd.name = name;
+    fd.fault_samples = n;
+  }
+  double l1 = 0;
+  for (auto& [name, fd] : union_) {
+    fd.base_share = base.total == 0 ? 0
+                                    : static_cast<double>(fd.base_samples) /
+                                          static_cast<double>(base.total);
+    fd.fault_share = fault.total == 0 ? 0
+                                      : static_cast<double>(fd.fault_samples) /
+                                            static_cast<double>(fault.total);
+    fd.delta = fd.fault_share - fd.base_share;
+    l1 += std::abs(fd.delta);
+    d.deltas.push_back(fd);
+  }
+  d.score = 0.5 * l1;
+  std::sort(d.deltas.begin(), d.deltas.end(),
+            [](const FunctionDelta& a, const FunctionDelta& b) {
+              const double ma = std::abs(a.delta), mb = std::abs(b.delta);
+              if (ma != mb) return ma > mb;
+              return a.name < b.name;
+            });
+  return d;
+}
+
+std::string Divergence::to_json(std::size_t top_n) const {
+  std::string out = "{\"score\": " + json::number(score) + ", \"deltas\": [";
+  const std::size_t n =
+      top_n == 0 ? deltas.size() : std::min(top_n, deltas.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& fd = deltas[i];
+    out += i == 0 ? "" : ", ";
+    out += "{\"function\": \"" + json::escape(fd.name) +
+           "\", \"base\": " + std::to_string(fd.base_samples) +
+           ", \"fault\": " + std::to_string(fd.fault_samples) +
+           ", \"delta\": " + json::number(fd.delta) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void append_collapsed(std::string& out, const std::string& prefix,
+                      const Profile& p) {
+  for (const auto& [name, n] : p.functions) {
+    out += prefix;
+    out += ';';
+    out += name;
+    out += ' ';
+    out += std::to_string(n);
+    out += '\n';
+  }
+}
+
+}  // namespace gf::obs

@@ -1,0 +1,84 @@
+// Deterministic flat cycle profiles and differential attribution.
+//
+// A Profile aggregates the VM's stride-countdown PC samples after they have
+// been attributed to functions (via the guest image's symbol table): one
+// sample ≙ one stride of virtual cycles spent inside the function. Because
+// the sampler ticks only at retired architectural-step boundaries of the
+// deterministic VM, a profile is a pure function of (seed, cell, task) —
+// byte-identical for any scheduling, fusion setting or dispatch lowering.
+//
+// Differential profiles answer the paper's missing question — *where did
+// execution go after a fault activated* — by comparing the faulty run's
+// cycle-share distribution against the baseline's: per-function share deltas
+// ranked by magnitude, plus a single divergence score (half the L1 distance
+// between the two distributions, 0 = identical, 1 = disjoint).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gf::obs {
+
+/// Flat per-function sample profile. `total` is always the sum of the
+/// per-function counts (tools/json_check --schema profile enforces this).
+struct Profile {
+  std::uint64_t stride = 0;  ///< sampling stride in virtual cycles; 0 = off
+  std::uint64_t total = 0;   ///< total samples across all functions
+  std::map<std::string, std::uint64_t> functions;  ///< name -> samples
+
+  bool empty() const noexcept { return total == 0; }
+
+  /// Adds `n` samples to `fn` (and to the total).
+  void add(const std::string& fn, std::uint64_t n);
+
+  /// Folds `other` into this profile (sums per-function counts). The first
+  /// non-empty stride wins; merging is commutative and associative for
+  /// profiles taken at one stride, which the campaign guarantees.
+  void merge(const Profile& other);
+
+  /// Fraction of all samples spent in `fn` (0 when the profile is empty).
+  double share(const std::string& fn) const noexcept;
+
+  /// Canonical JSON object (sorted keys, integer counts):
+  ///   {"stride": S, "total": N, "functions": {"name": n, ...}}
+  std::string to_json() const;
+};
+
+/// One function's contribution to a differential profile.
+struct FunctionDelta {
+  std::string name;
+  std::uint64_t base_samples = 0;
+  std::uint64_t fault_samples = 0;
+  double base_share = 0;
+  double fault_share = 0;
+  double delta = 0;  ///< fault_share - base_share
+};
+
+/// Differential profile of a faulty run against its baseline.
+struct Divergence {
+  /// Half the L1 distance between the two share distributions: 0 when the
+  /// cycle distributions are identical, 1 when they share no function.
+  double score = 0;
+  /// Per-function deltas over the union of both function sets, ranked by
+  /// |delta| descending with the function name as deterministic tiebreak.
+  std::vector<FunctionDelta> deltas;
+
+  /// Canonical JSON object:
+  ///   {"score": s, "deltas": [{"function": ..., "base": n, "fault": n,
+  ///                            "delta": d}, ...]}
+  /// `top_n` bounds the emitted deltas (0 = all).
+  std::string to_json(std::size_t top_n = 0) const;
+};
+
+/// Computes the differential profile fault-vs-baseline.
+Divergence profile_divergence(const Profile& base, const Profile& fault);
+
+/// Appends collapsed-stack flamegraph lines "<prefix>;<function> <count>\n"
+/// for every function in the profile, in sorted function order (flat
+/// profiles have depth-one stacks; the prefix carries cell/run identity).
+void append_collapsed(std::string& out, const std::string& prefix,
+                      const Profile& p);
+
+}  // namespace gf::obs

@@ -161,6 +161,15 @@ void encode_obs(BufWriter& w, const depbench::TaskObs& obs) {
     w.u64(e.cycle);
     w.str(e.args);
   }
+  // Schema 2: per-run cycle profile (empty when profiling was off — the
+  // stride is part of the result key, so shapes never mix).
+  w.u64(obs.profile.stride);
+  w.u64(obs.profile.total);
+  w.u32(static_cast<std::uint32_t>(obs.profile.functions.size()));
+  for (const auto& [name, samples] : obs.profile.functions) {
+    w.str(name);
+    w.u64(samples);
+  }
 }
 
 depbench::TaskObs decode_obs(BufReader& r) {
@@ -186,6 +195,12 @@ depbench::TaskObs decode_obs(BufReader& r) {
     e.args = r.str();
   }
   obs.journal = obs::Journal::restore(capacity, dropped, std::move(events));
+  obs.profile.stride = r.u64();
+  obs.profile.total = r.u64();
+  for (std::uint32_t n = r.u32(); n > 0; --n) {
+    const auto name = r.str();
+    obs.profile.functions[name] = r.u64();
+  }
   return obs;
 }
 

@@ -21,8 +21,8 @@
 namespace gf::store {
 
 /// Bump when the serialized record layout changes — old records must read
-/// as misses, never be misdecoded.
-inline constexpr std::uint32_t kResultSchema = 1;
+/// as misses, never be misdecoded. (2: per-run profile appended to TaskObs.)
+inline constexpr std::uint32_t kResultSchema = 2;
 
 /// 128-bit content digest (two independent FNV-1a streams with distinct
 /// offset bases; the pair collides only if both streams do).

@@ -460,6 +460,28 @@ void Machine::note_watch_edge(std::uint64_t from, std::uint64_t to) noexcept {
   ++watch_.edge_count;
 }
 
+void Machine::arm_sampler(std::uint64_t stride) {
+  samples_.clear();
+  sample_stride_ = stride;
+  sample_left_ = stride == 0 ? kSamplerIdle : static_cast<std::int64_t>(stride);
+}
+
+void Machine::disarm_sampler() {
+  sample_stride_ = 0;
+  sample_left_ = kSamplerIdle;
+}
+
+std::int64_t Machine::note_sample(std::uint64_t pc, std::int64_t left) {
+  // Overshoot carries into the next period so the sample cadence stays an
+  // exact function of consumed cycles; the loop handles instructions whose
+  // cost spans several strides (e.g. SYS at a small stride).
+  do {
+    ++samples_[pc];
+    left += static_cast<std::int64_t>(sample_stride_);
+  } while (left <= 0);
+  return left;
+}
+
 void Machine::set_stack_region(std::uint64_t lo, std::uint64_t hi) {
   stack_lo_ = lo;
   stack_hi_ = hi;
@@ -595,6 +617,9 @@ RunResult Machine::run(std::uint64_t pc, std::uint64_t cycle_budget) {
 RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
   std::uint64_t cycles = 0;
   std::uint64_t steps = 0;
+  // Sampler countdown, carried in a register across the run (kSamplerIdle
+  // when disarmed, so the per-step tick is one sub + never-taken branch).
+  std::int64_t sleft = sample_left_;
   // Single exit: every termination path funnels through here so the
   // lifetime counters and dispatch stats are folded in exactly once per run
   // (the loop itself only touches the two local accumulators). `steps`
@@ -603,6 +628,7 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
   // flow through dispatch after the increment, give it back.
   auto stop = [&](Trap t) {
     total_cycles_ += cycles;
+    sample_left_ = sleft;
     stats_.instructions += steps;
     ++stats_.runs;
     ++stats_.traps[static_cast<std::size_t>(t)];
@@ -634,6 +660,19 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
 #define VM_CASE(name) case kX##name:
 #endif
 
+  // Sampler tick, placed wherever an instruction's cycle cost is committed
+  // while `pc` still names the retiring instruction: at `tail:` and at the
+  // head-retire point inside VM_FUSE_NEXT. Those are exactly the retired
+  // architectural-step boundaries, so fused and unfused execution (and both
+  // dispatch lowerings) decrement by identical (pc, cost) sequences and
+  // produce bit-identical sample streams. Terminal cycle commits on the
+  // stop paths (HALT, sentinel RET, failed SYS) are excluded in all modes
+  // alike. Disarmed, the countdown sits at kSamplerIdle: one decrement and
+  // a never-taken branch.
+#define VM_SAMPLE(c)                             \
+  sleft -= static_cast<std::int64_t>(c);         \
+  if (sleft <= 0) [[unlikely]] sleft = note_sample(pc, sleft)
+
   // Architectural boundary between the two halves of a fused pair: the head
   // has fully retired (its cycles and pc advance are committed), so a budget
   // stop before the second half or a trap inside it is indistinguishable
@@ -641,6 +680,7 @@ RunResult Machine::execute(std::uint64_t pc, std::uint64_t cycle_budget) {
   // edge-ring check is due at this boundary.
 #define VM_FUSE_NEXT(head_cost)                        \
   cycles += (head_cost);                               \
+  VM_SAMPLE(head_cost);                                \
   pc += kInstrSize;                                    \
   if (cycles >= cycle_budget) [[unlikely]] goto fetch; \
   ++steps;                                             \
@@ -1044,6 +1084,7 @@ tail:
     if (next != pc + kInstrSize) note_watch_edge(pc, next);
   }
   cycles += cost;
+  VM_SAMPLE(cost);
   // Glue fast path: the successor slot is statically valid, unarmed and
   // in-hull, so a fall-through skips the full fetch. Everything the skipped
   // checks guard is write-immune (validity, armedness, coverage off) or
@@ -1063,6 +1104,7 @@ tail:
 
 #undef VM_CASE
 #undef VM_FUSE_NEXT
+#undef VM_SAMPLE
 }
 
 }  // namespace gf::vm

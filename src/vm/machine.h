@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -279,6 +280,29 @@ class Machine {
   bool watch_armed() const noexcept { return watch_hi_ != 0; }
   const WatchTrace& watch_trace() const noexcept { return watch_; }
 
+  // --- deterministic PC sampler ---------------------------------------------
+  /// Arms the virtual-cycle stride sampler: every `stride` consumed cycles
+  /// the PC of the instruction retiring at that boundary is recorded (pc ->
+  /// hit count). Sampling runs on the *virtual* clock and only at retired
+  /// architectural-step boundaries, so the sample stream is a pure function
+  /// of executed code — bit-identical with fusion on/off and for either
+  /// dispatch lowering. Overshoot carries into the next period (an
+  /// instruction costing more than a stride yields multiple samples), so the
+  /// cadence is exact regardless of per-instruction cost granularity. The
+  /// hot loop pays one decrement plus a never-taken branch when disarmed
+  /// (the countdown idles at a sentinel no campaign can exhaust — the same
+  /// trick as the armed-watch bit). Re-arming resets the accumulated
+  /// samples; `stride == 0` disarms.
+  void arm_sampler(std::uint64_t stride);
+  /// Disarms the sampler; accumulated samples stay readable.
+  void disarm_sampler();
+  bool sampler_armed() const noexcept { return sample_stride_ != 0; }
+  std::uint64_t sampler_stride() const noexcept { return sample_stride_; }
+  /// Accumulated samples since the last arm, keyed by instruction address.
+  const std::map<std::uint64_t, std::uint64_t>& samples() const noexcept {
+    return samples_;
+  }
+
  private:
   struct CodeRange {
     std::uint64_t lo, hi;
@@ -308,6 +332,9 @@ class Machine {
   /// Cold path of the armed-bit branch: updates the watch trace.
   void note_watch_hit(std::uint64_t cycles) noexcept;
   void note_watch_edge(std::uint64_t from, std::uint64_t to) noexcept;
+  /// Cold path of the sampler countdown (taken once per stride cycles):
+  /// records the sample(s) and returns the replenished countdown.
+  std::int64_t note_sample(std::uint64_t pc, std::int64_t left);
   /// Cheap overlap test before the full invalidate — inlined into every
   /// checked write so guest stores into the code region (possible under
   /// mutated pointers) can never leave the predecode cache stale.
@@ -360,6 +387,14 @@ class Machine {
   bool coverage_ = false;
   std::vector<std::uint64_t> executed_;
   std::vector<bool> covered_;  // indexed by addr / kInstrSize
+
+  /// Sampler countdown idle sentinel: one decrement per retired step can
+  /// never drive it to zero within any realistic machine lifetime, so a
+  /// disarmed sampler costs exactly one sub + never-taken branch per step.
+  static constexpr std::int64_t kSamplerIdle = std::int64_t{1} << 62;
+  std::uint64_t sample_stride_ = 0;          ///< 0 = disarmed
+  std::int64_t sample_left_ = kSamplerIdle;  ///< cycles until the next sample
+  std::map<std::uint64_t, std::uint64_t> samples_;  ///< pc -> sample count
 
   // Armed watch window [watch_lo_, watch_hi_); hi == 0 means disarmed.
   std::uint64_t watch_lo_ = 0, watch_hi_ = 0;

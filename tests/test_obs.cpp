@@ -12,6 +12,7 @@
 
 #include "depbench/campaign_report.h"
 #include "depbench/runner.h"
+#include "obs/chrome_trace.h"
 #include "obs/journal.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -117,12 +118,52 @@ TEST(JournalTest, RingDropsOldestAndCountsThem) {
   EXPECT_EQ(events.front().name, "e2");  // oldest survivor first
   EXPECT_EQ(events.back().name, "e5");
 
-  // seq numbering starts at dropped() so gaps are visible downstream.
+  // A wrapped ring announces the loss: a {"truncated": N} head record, then
+  // the survivors with seq numbering starting at dropped() so the gap is
+  // visible either way.
   std::ostringstream os;
   obs::write_jsonl(os, "t", j);
-  std::string first_line;
-  std::getline(std::istringstream{os.str()} >> std::ws, first_line);
-  EXPECT_NE(first_line.find("\"seq\": 2"), std::string::npos) << first_line;
+  std::istringstream lines(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"truncated\": 2"), std::string::npos) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"seq\": 2"), std::string::npos) << line;
+  EXPECT_NE(line.find("e2"), std::string::npos) << line;
+
+  // An unwrapped journal emits no truncation record.
+  obs::Journal small(8);
+  small.instant("only", 1, 1);
+  std::ostringstream os2;
+  obs::write_jsonl(os2, "t", small);
+  EXPECT_EQ(os2.str().find("truncated"), std::string::npos);
+  EXPECT_NE(os2.str().find("\"seq\": 0"), std::string::npos);
+}
+
+TEST(JournalTest, ChromeTraceMarksTruncationOnWrappedTracks) {
+  obs::Journal j(2);
+  for (int i = 0; i < 5; ++i) {
+    j.instant("e" + std::to_string(i), i, static_cast<std::uint64_t>(i));
+  }
+  obs::TaskTrack track;
+  track.cell = "c";
+  track.label = "l";
+  track.tid = 1;
+  track.journal = &j;
+  const auto trace = obs::chrome_trace_json({track});
+  EXPECT_NE(trace.find("journal truncated"), std::string::npos);
+  EXPECT_NE(trace.find("{\"truncated\": 3}"), std::string::npos);
+
+  // The truncation instant sits at the first survivor's timestamp, so the
+  // track stays monotone and the whole document still validates.
+  std::string err;
+  EXPECT_TRUE(obs::json::parse(trace, &err)) << err;
+
+  obs::Journal intact(8);
+  intact.instant("ok", 1, 1);
+  track.journal = &intact;
+  EXPECT_EQ(obs::chrome_trace_json({track}).find("truncated"),
+            std::string::npos);
 }
 
 TEST(JsonTest, ParseRejectsMalformed) {

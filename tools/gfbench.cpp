@@ -9,6 +9,7 @@
 //                    [--store DIR] [--resume] [--no-cache]
 //   gfbench store    <ls|verify|gc> --store DIR [--max-bytes N]
 //   gfbench show     --faultload FILE [--limit N]
+//   gfbench diff     OLD.json NEW.json [--threshold PCT] [--json FILE]
 //
 // `scan` writes a portable faultload file; `campaign` can consume it later
 // (possibly on another machine — the digest check refuses a mismatched OS
@@ -16,6 +17,8 @@
 // `--store` adds the crash-safe result cache (src/store): interrupted
 // campaigns resume with `--resume`, unchanged faults are never re-executed,
 // and the merged artifacts stay byte-identical for any cache-hit pattern.
+// `diff` compares two campaign manifests and exits nonzero when any gated
+// metric drifted beyond the threshold — the cross-campaign regression gate.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +28,7 @@
 #include <sstream>
 #include <string>
 
+#include "depbench/campaign_diff.h"
 #include "depbench/campaign_report.h"
 #include "depbench/report.h"
 #include "depbench/tuner.h"
@@ -50,9 +54,11 @@ using namespace gf;
                "           [--store-json FILE] [--crash-after-puts N]\n"
                "           [--metrics-json FILE] [--html-report FILE]\n"
                "           [--journal-out FILE] [--chrome-trace FILE]\n"
-               "           [--sched-json FILE]\n"
+               "           [--sched-json FILE] [--profile-json FILE]\n"
+               "           [--flame-out FILE] [--profile-stride N]\n"
                "  store    <ls|verify|gc> --store DIR [--max-bytes N]\n"
-               "  show     --faultload FILE [--limit N]\n");
+               "  show     --faultload FILE [--limit N]\n"
+               "  diff     OLD.json NEW.json [--threshold PCT] [--json FILE]\n");
   std::exit(2);
 }
 
@@ -195,8 +201,14 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
     ropt.shards = std::stoi(flags.at("shards"));
   }
   if (flags.count("faultload")) ropt.faultload = &fl;
-  ropt.obs = flags.count("metrics-json") || flags.count("html-report") ||
-             flags.count("journal-out") || flags.count("chrome-trace");
+  // Profiling needs per-task obs bundles to carry the samples home.
+  ropt.profile = flags.count("profile-json") || flags.count("flame-out");
+  if (flags.count("profile-stride")) {
+    ropt.profile_stride = std::stoull(flags.at("profile-stride"));
+  }
+  ropt.obs = ropt.profile || flags.count("metrics-json") ||
+             flags.count("html-report") || flags.count("journal-out") ||
+             flags.count("chrome-trace");
 
   // Persistent result store: --store opens/creates it, --resume insists it
   // already exists (a typo'd directory should fail loudly, not silently run
@@ -254,7 +266,10 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
         !emit("html-report",
               depbench::campaign_html_report(cells, ropt, cobs)) ||
         !emit("journal-out", journal.str()) ||
-        !emit("chrome-trace", depbench::campaign_chrome_trace(*cobs))) {
+        !emit("chrome-trace", depbench::campaign_chrome_trace(*cobs)) ||
+        !emit("profile-json",
+              depbench::campaign_profile_json(cells, ropt, *cobs)) ||
+        !emit("flame-out", depbench::campaign_flamegraph(*cobs))) {
       return 1;
     }
   }
@@ -314,6 +329,50 @@ int cmd_store(int argc, char** argv) {
   usage();
 }
 
+int cmd_diff(int argc, char** argv) {
+  // Two positional manifest paths, then flags.
+  if (argc < 4 || std::strncmp(argv[2], "--", 2) == 0 ||
+      std::strncmp(argv[3], "--", 2) == 0) {
+    usage();
+  }
+  const auto flags = parse_flags(argc, argv, 4);
+  auto slurp = [](const char* path, std::string& out) {
+    std::ifstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "cannot read %s\n", path);
+      return false;
+    }
+    std::stringstream buf;
+    buf << f.rdbuf();
+    out = buf.str();
+    return true;
+  };
+  std::string old_text, new_text;
+  if (!slurp(argv[2], old_text) || !slurp(argv[3], new_text)) return 1;
+
+  depbench::DiffOptions dopt;
+  if (flags.count("threshold")) {
+    dopt.threshold_pct = std::stod(flags.at("threshold"));
+  }
+  const auto d = depbench::diff_campaigns(old_text, new_text, dopt);
+  if (!d.ok) {
+    std::fprintf(stderr, "error: %s\n", d.error.c_str());
+    return 2;
+  }
+  if (flags.count("json")) {
+    std::ofstream out(flags.at("json"));
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", flags.at("json").c_str());
+      return 1;
+    }
+    out << d.json;
+  }
+  std::fputs(d.text.c_str(), stdout);
+  std::printf("%s (threshold %.1f%%)\n",
+              d.breached ? "BREACHED" : "within threshold", dopt.threshold_pct);
+  return d.breached ? 1 : 0;
+}
+
 int cmd_show(const std::map<std::string, std::string>& flags) {
   if (!flags.count("faultload")) usage();
   std::ifstream f(flags.at("faultload"));
@@ -353,9 +412,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   util::set_log_level(util::LogLevel::kInfo);
   try {
-    // `store` takes an action word before its flags; everything else is
-    // flags-only from argv[2].
+    // `store` takes an action word and `diff` two manifest paths before
+    // their flags; everything else is flags-only from argv[2].
     if (cmd == "store") return cmd_store(argc, argv);
+    if (cmd == "diff") return cmd_diff(argc, argv);
     const auto flags = parse_flags(argc, argv, 2);
     if (cmd == "scan") return cmd_scan(flags);
     if (cmd == "profile") return cmd_profile(flags);

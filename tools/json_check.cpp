@@ -9,6 +9,8 @@
 //   json_check --schema store FILE        campaign-store bench/stats shape
 //   json_check --schema micro FILE        BENCH_micro.json sanity (Release
 //                                         build context, positive rates)
+//   json_check --schema profile FILE      genfault-profile cycle profiles
+//   json_check --schema diff FILE         genfault-diff campaign comparison
 //
 // Exit 0 when every file validates; prints the first problem per file and
 // exits 1 otherwise. run_benches.sh and the CI workflow pipe every emitted
@@ -30,8 +32,8 @@ using gf::obs::json::Value;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: json_check [--jsonl] "
-               "[--schema metrics|chrome|manifest|sched|store|micro] "
-               "FILE...\n");
+               "[--schema metrics|chrome|manifest|sched|store|micro|"
+               "profile|diff] FILE...\n");
   std::exit(2);
 }
 
@@ -168,6 +170,176 @@ bool check_manifest(const std::string& file, const Value& root) {
   if (metrics == nullptr) return fail(file, "missing metrics");
   if (metrics->type != Value::Type::kNull && !check_metrics(file, *metrics)) {
     return false;
+  }
+  // Optional cycle profiles: null when the campaign ran unprofiled, else one
+  // entry per cell with full baseline/faults profiles (gfbench diff reads
+  // these to rank cross-campaign divergence).
+  const auto* profiles = root.find("profiles");
+  if (profiles != nullptr && profiles->type != Value::Type::kNull) {
+    if (!is_array(profiles)) return fail(file, "profiles not array|null");
+    for (std::size_t i = 0; i < profiles->array.size(); ++i) {
+      const auto& p = profiles->array[i];
+      const auto at = "profiles[" + std::to_string(i) + "]";
+      if (!is_string(p.find("cell"))) return fail(file, at + " missing cell");
+      for (const char* key : {"baseline", "faults"}) {
+        if (!is_object(p.find(key))) {
+          return fail(file, at + " missing object field: " + key);
+        }
+      }
+      if (!is_object(p.find("divergence"))) {
+        return fail(file, at + " missing divergence{}");
+      }
+    }
+  }
+  return true;
+}
+
+/// One flat profile object: {"stride": N, "total": N, "functions": {...}}
+/// whose function counts sum exactly to total (sampler accounting is exact).
+bool check_profile_object(const std::string& file, const std::string& at,
+                          const Value& v) {
+  if (v.type != Value::Type::kObject) return fail(file, at + " not object");
+  if (!is_number(v.find("stride")) || !is_number(v.find("total"))) {
+    return fail(file, at + " missing stride/total");
+  }
+  const auto* fns = v.find("functions");
+  if (!is_object(fns)) return fail(file, at + " missing functions{}");
+  double sum = 0;
+  for (const auto& [name, n] : fns->object) {
+    if (n.type != Value::Type::kNumber || n.number < 0) {
+      return fail(file, at + " function count invalid: " + name);
+    }
+    sum += n.number;
+  }
+  if (sum != v.find("total")->number) {
+    return fail(file, at + " function counts do not sum to total");
+  }
+  return true;
+}
+
+/// {"score": s in [0,1], "deltas": [{"function","base","fault","delta"}...]}
+bool check_divergence(const std::string& file, const std::string& at,
+                      const Value& v) {
+  if (v.type != Value::Type::kObject) return fail(file, at + " not object");
+  const auto* score = v.find("score");
+  if (!is_number(score) || score->number < 0 || score->number > 1) {
+    return fail(file, at + " score missing or out of [0,1]");
+  }
+  const auto* deltas = v.find("deltas");
+  if (!is_array(deltas)) return fail(file, at + " missing deltas[]");
+  for (std::size_t i = 0; i < deltas->array.size(); ++i) {
+    const auto& d = deltas->array[i];
+    const auto dat = at + ".deltas[" + std::to_string(i) + "]";
+    if (!is_string(d.find("function"))) {
+      return fail(file, dat + " missing function");
+    }
+    for (const char* key : {"base", "fault", "delta"}) {
+      if (!is_number(d.find(key))) {
+        return fail(file, dat + " missing number field: " + key);
+      }
+    }
+  }
+  return true;
+}
+
+/// genfault-profile/1: per cell the baseline profile, merged fault profile,
+/// their divergence, and every fault run's own profile + divergence.
+bool check_profile(const std::string& file, const Value& root) {
+  if (root.type != Value::Type::kObject) return fail(file, "root not object");
+  const auto* schema = root.find("schema");
+  if (!is_string(schema) || schema->string != "genfault-profile/1") {
+    return fail(file, "schema is not genfault-profile/1");
+  }
+  const auto* stride = root.find("stride");
+  if (!is_number(stride) || stride->number <= 0) {
+    return fail(file, "stride missing or not positive");
+  }
+  const auto* cells = root.find("cells");
+  if (!is_array(cells)) return fail(file, "missing cells[]");
+  for (std::size_t i = 0; i < cells->array.size(); ++i) {
+    const auto& c = cells->array[i];
+    const auto at = "cells[" + std::to_string(i) + "]";
+    if (c.type != Value::Type::kObject) return fail(file, at + " not object");
+    if (!is_string(c.find("cell"))) return fail(file, at + " missing cell");
+    for (const char* key : {"baseline", "faults", "divergence"}) {
+      if (c.find(key) == nullptr) {
+        return fail(file, at + " missing field: " + key);
+      }
+    }
+    if (!check_profile_object(file, at + ".baseline", *c.find("baseline")) ||
+        !check_profile_object(file, at + ".faults", *c.find("faults")) ||
+        !check_divergence(file, at + ".divergence", *c.find("divergence"))) {
+      return false;
+    }
+    const auto* runs = c.find("runs");
+    if (!is_array(runs)) return fail(file, at + " missing runs[]");
+    for (std::size_t k = 0; k < runs->array.size(); ++k) {
+      const auto& r = runs->array[k];
+      const auto rat = at + ".runs[" + std::to_string(k) + "]";
+      if (!is_string(r.find("label"))) return fail(file, rat + " missing label");
+      if (r.find("profile") == nullptr || r.find("divergence") == nullptr) {
+        return fail(file, rat + " missing profile/divergence");
+      }
+      if (!check_profile_object(file, rat + ".profile", *r.find("profile")) ||
+          !check_divergence(file, rat + ".divergence", *r.find("divergence"))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// genfault-diff/1: the gfbench diff artifact — threshold, per-cell
+/// derived/counter drift entries, and the breached verdict.
+bool check_diff(const std::string& file, const Value& root) {
+  if (root.type != Value::Type::kObject) return fail(file, "root not object");
+  const auto* schema = root.find("schema");
+  if (!is_string(schema) || schema->string != "genfault-diff/1") {
+    return fail(file, "schema is not genfault-diff/1");
+  }
+  if (!is_number(root.find("threshold_pct"))) {
+    return fail(file, "missing threshold_pct");
+  }
+  const auto* breached = root.find("breached");
+  if (breached == nullptr || breached->type != Value::Type::kBool) {
+    return fail(file, "missing bool field: breached");
+  }
+  for (const char* key : {"missing_cells", "added_cells"}) {
+    if (!is_array(root.find(key))) {
+      return fail(file, std::string("missing array field: ") + key);
+    }
+  }
+  const auto* cells = root.find("cells");
+  if (!is_array(cells)) return fail(file, "missing cells[]");
+  for (std::size_t i = 0; i < cells->array.size(); ++i) {
+    const auto& c = cells->array[i];
+    const auto at = "cells[" + std::to_string(i) + "]";
+    if (c.type != Value::Type::kObject) return fail(file, at + " not object");
+    if (!is_string(c.find("cell"))) return fail(file, at + " missing cell");
+    const auto* derived = c.find("derived");
+    if (!is_array(derived)) return fail(file, at + " missing derived[]");
+    for (std::size_t k = 0; k < derived->array.size(); ++k) {
+      const auto& d = derived->array[k];
+      const auto dat = at + ".derived[" + std::to_string(k) + "]";
+      if (!is_string(d.find("metric"))) return fail(file, dat + " missing metric");
+      for (const char* key : {"old", "new", "drift_pct"}) {
+        if (!is_number(d.find(key))) {
+          return fail(file, dat + " missing number field: " + key);
+        }
+      }
+      const auto* b = d.find("breach");
+      if (b == nullptr || b->type != Value::Type::kBool) {
+        return fail(file, dat + " missing bool field: breach");
+      }
+    }
+    const auto* counters = c.find("counters");
+    if (!is_array(counters)) return fail(file, at + " missing counters[]");
+    const auto* pd = c.find("profile_divergence");
+    if (pd == nullptr) return fail(file, at + " missing profile_divergence");
+    if (pd->type != Value::Type::kNull &&
+        !check_divergence(file, at + ".profile_divergence", *pd)) {
+      return false;
+    }
   }
   return true;
 }
@@ -327,6 +499,7 @@ bool check_micro(const std::string& file, const Value& root) {
   static const char* kFamilies[] = {
       "BM_VmDispatch", "BM_VmDispatchPredecoded", "BM_VmDispatchNoPredecode",
       "BM_VmDispatchNoFusion", "BM_VmDispatchTraceDisarmed",
+      "BM_VmDispatchProfiled",
       "BM_MiniCCompileOs", "BM_FaultloadScan", "BM_InjectRestore",
       "BM_InjectRestoreInvalidate", "BM_ApiCallAlloc", "BM_ApiCallAllocObs",
       "BM_JournalAppend", "BM_ApiCallOpenReadClose", "BM_ColdReboot",
@@ -426,6 +599,8 @@ bool check_file(const std::string& file, const std::string& schema,
   if (schema == "sched") return check_sched(file, *v);
   if (schema == "store") return check_store(file, *v);
   if (schema == "micro") return check_micro(file, *v);
+  if (schema == "profile") return check_profile(file, *v);
+  if (schema == "diff") return check_diff(file, *v);
   return true;
 }
 
@@ -442,7 +617,8 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage();
       schema = argv[++i];
       if (schema != "metrics" && schema != "chrome" && schema != "manifest" &&
-          schema != "sched" && schema != "store" && schema != "micro") {
+          schema != "sched" && schema != "store" && schema != "micro" &&
+          schema != "profile" && schema != "diff") {
         usage();
       }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {

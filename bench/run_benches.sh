@@ -47,7 +47,7 @@ fi
 
 for bin in bench/micro_substrate bench/table5_campaign bench/campaign_steal \
            bench/campaign_resume tools/json_check tools/gfbench \
-           tools/bench_diff; do
+           tools/bench_diff tools/gfcheck; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "error: $BUILD_DIR/$bin not built" \
          "(cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release &&" \
@@ -212,6 +212,14 @@ fi
 "$BUILD_DIR/tools/gfbench" diff "$OBS_DIR/pmanifest.json" \
   "$OBS_DIR/pmanifest.json" --json "$OBS_DIR/selfdiff.json" > /dev/null
 echo "profiled campaign + self-diff ok" >&2
+
+# Differential fuzz budget: the same fixed seed range the fuzz CI job runs
+# (GFCHECK_CASES to scale it; every failure prints a replayable --case-seed
+# repro line). Curated hardware gets the full oracle sweep on every bench
+# run, not just on CI pushes.
+"$BUILD_DIR/tools/gfcheck" --seed 1 --cases "${GFCHECK_CASES:-25}" \
+  --scratch "$OBS_DIR/gfcheck-scratch" > /dev/null
+echo "gfcheck fuzz budget ok (${GFCHECK_CASES:-25} cases/engine)" >&2
 
 # Validate every emitted JSON artifact; a malformed emitter fails the run
 # loudly here instead of producing quietly-broken dashboards downstream.

@@ -1,0 +1,15 @@
+#include "check/check.h"
+
+#include "util/rng.h"
+
+namespace gf::check {
+
+std::uint64_t case_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // Golden-ratio stride keeps neighbouring indices far apart in seed space;
+  // SplitMix64 then decorrelates the stream. Stable across platforms — the
+  // pair (--seed, case index) printed in a failure names the case forever.
+  util::SplitMix64 g(base ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+  return g.next();
+}
+
+}  // namespace gf::check

@@ -1,0 +1,64 @@
+#include "check/progen.h"
+
+#include <sstream>
+
+namespace gf::check {
+
+std::string ProgramGen::generate() {
+  vars_ = {"a", "b"};
+  std::ostringstream out;
+  out << "fn f(a, b) {\n";
+  const int decls = static_cast<int>(rng_.range(1, 3));
+  for (int i = 0; i < decls; ++i) {
+    const std::string name = "v" + std::to_string(i);
+    out << "  var " << name << " = " << expr(2) << ";\n";
+    vars_.push_back(name);
+  }
+  const int stmts = static_cast<int>(rng_.range(2, 6));
+  for (int i = 0; i < stmts; ++i) out << statement(2);
+  out << "  return " << expr(2) << ";\n}\n";
+  return out.str();
+}
+
+std::string ProgramGen::var() { return vars_[rng_.bounded(vars_.size())]; }
+
+std::string ProgramGen::expr(int depth) {
+  if (depth == 0 || rng_.chance(0.3)) {
+    if (rng_.chance(0.5)) return var();
+    return std::to_string(rng_.range(-50, 50));
+  }
+  // No '/' or '%': generated programs must be trap-free by construction.
+  static const char* ops[] = {"+", "-", "*", "&", "|", "^"};
+  return "(" + expr(depth - 1) + " " + ops[rng_.bounded(6)] + " " +
+         expr(depth - 1) + ")";
+}
+
+std::string ProgramGen::cond() {
+  static const char* cmps[] = {"<", "<=", ">", ">=", "==", "!="};
+  std::string c = expr(1) + " " + cmps[rng_.bounded(6)] + " " + expr(1);
+  if (rng_.chance(0.3)) {
+    c += rng_.chance(0.5) ? " && " : " || ";
+    c += expr(1) + " " + cmps[rng_.bounded(6)] + " " + expr(1);
+  }
+  return c;
+}
+
+std::string ProgramGen::statement(int depth) {
+  const auto kind = rng_.bounded(depth > 0 ? 3 : 1);
+  switch (kind) {
+    case 1:
+      return "  if (" + cond() + ") { " + var() + " = " + expr(1) +
+             "; } else { " + var() + " = " + expr(1) + "; }\n";
+    case 2: {
+      // Bounded loop: always terminates.
+      const std::string i = "i" + std::to_string(loop_id_++);
+      return "  { var " + i + " = 0; while (" + i + " < " +
+             std::to_string(rng_.range(1, 8)) + ") { " + var() + " = " +
+             expr(1) + "; " + i + " = " + i + " + 1; } }\n";
+    }
+    default:
+      return "  " + var() + " = " + expr(2) + ";\n";
+  }
+}
+
+}  // namespace gf::check

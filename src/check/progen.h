@@ -1,0 +1,41 @@
+// Bounded random MiniC program generator for the property-based fuzzers.
+//
+// Grows a small random-but-valid function from a bounded expression /
+// statement grammar: straight-line assignments, if/else, and counted while
+// loops that always terminate. Division is excluded from the operator set,
+// so a generated program never traps on its own — every divergence a
+// differential engine observes is therefore the engine's bug, not the
+// program's. The generator draws exclusively from the passed Rng, so the
+// same seed always yields the same source text (and, compilation being
+// deterministic, the same image).
+//
+// Lives in src/check (rather than a test file) so the fuzzer engines, the
+// gfcheck CLI and the property tests all share one grammar.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gf::check {
+
+class ProgramGen {
+ public:
+  explicit ProgramGen(util::Rng& rng) : rng_(rng) {}
+
+  /// One random function `fn f(a, b) { ... }`.
+  std::string generate();
+
+ private:
+  std::string var();
+  std::string expr(int depth);
+  std::string cond();
+  std::string statement(int depth);
+
+  util::Rng& rng_;
+  std::vector<std::string> vars_;
+  int loop_id_ = 0;
+};
+
+}  // namespace gf::check

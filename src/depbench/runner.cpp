@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -292,6 +293,15 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
       opt_.jobs > 0 ? static_cast<std::size_t>(opt_.jobs)
                     : std::max(1u, std::thread::hardware_concurrency());
 
+  // Oracle-sensitivity hook for the differential fuzzer (src/check): with
+  // GF_CHECK_PERTURB set, parallel campaigns (jobs > 1) deliberately skew one
+  // merge input — an extra self-restart per fault run. The jobs=1 reference
+  // stays clean, so the matrix fuzzer's byte-identity oracles MUST flag every
+  // perturbed run; CI uses this to prove the oracles can actually detect a
+  // scheduling-shape-dependent bug rather than vacuously agreeing.
+  const char* perturb_env = std::getenv("GF_CHECK_PERTURB");
+  const bool perturb = perturb_env != nullptr && *perturb_env != '\0' && jobs > 1;
+
   // --chunk wins; --shards > 1 is the deprecated equal-chunks alias, mapped
   // onto the same decomposition (one code path, identical results).
   int chunk_override = 0;
@@ -561,6 +571,7 @@ std::vector<ExperimentCell> CampaignRunner::run_campaign() {
     auto ctl = build(cell, cfg);
     auto& result = fault_results[cell][it * cp.positions + pos];
     result = ctl->run_iteration(*cp.fl, seed);
+    if (perturb) result.counters.self_restarts += 1;
     if (slot != nullptr) slot->obs.wall_end_us = wall_us();
     if (st != nullptr) commit_run(fault_key(cp, it, pos), cell, label, result, slot);
   };

@@ -52,7 +52,9 @@ std::optional<std::int64_t> SimDisk::read(int id, std::int64_t offset,
   const auto& f = *files_[static_cast<std::size_t>(id)];
   if (static_cast<std::size_t>(offset) >= f.size()) return 0;
   const auto n = std::min<std::int64_t>(len, static_cast<std::int64_t>(f.size()) - offset);
-  std::memcpy(dst, f.data() + offset, static_cast<std::size_t>(n));
+  // memcpy's pointer args are declared nonnull even for n == 0, and guests
+  // legally issue zero-length reads with a null buffer.
+  if (n > 0) std::memcpy(dst, f.data() + offset, static_cast<std::size_t>(n));
   return n;
 }
 
@@ -63,7 +65,7 @@ std::optional<std::int64_t> SimDisk::write(int id, std::int64_t offset,
   auto& f = detach(static_cast<std::size_t>(id));
   const auto end = static_cast<std::size_t>(offset + len);
   if (end > f.size()) f.resize(end, 0);
-  std::memcpy(f.data() + offset, src, static_cast<std::size_t>(len));
+  if (len > 0) std::memcpy(f.data() + offset, src, static_cast<std::size_t>(len));
   return len;
 }
 

@@ -346,6 +346,22 @@ std::size_t CampaignStore::gc(std::uint64_t max_bytes) {
   return dropped;
 }
 
+void CampaignStore::tear_tail_for_test(std::uint64_t seg_drop,
+                                       std::uint64_t wal_drop) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  close_handles();
+  auto tear = [](const std::string& path, std::uint64_t drop) {
+    struct ::stat st{};
+    if (::stat(path.c_str(), &st) != 0) return;
+    const auto size = static_cast<std::uint64_t>(st.st_size);
+    truncate_or_throw(path, size > drop ? size - drop : 0);
+  };
+  tear(segment_path_, seg_drop);
+  tear(wal_path_, wal_drop);
+  recover();
+  open_append_handles();
+}
+
 StoreStats CampaignStore::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return stats_;

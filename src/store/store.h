@@ -123,6 +123,14 @@ class CampaignStore {
     commit_hook_ = std::move(hook);
   }
 
+  /// Fault-injection hook for the structure fuzzer (src/check): simulates a
+  /// crash that tore the last `seg_drop` bytes off the segment and the last
+  /// `wal_drop` bytes off the WAL (both clamped to the file sizes), exactly
+  /// the on-disk states an interrupted commit can leave behind. The handles
+  /// are closed, the files truncated, and recovery re-runs in place — the
+  /// store stays usable and must expose only intact committed records.
+  void tear_tail_for_test(std::uint64_t seg_drop, std::uint64_t wal_drop);
+
  private:
   struct Slot {
     std::uint64_t offset = 0;

@@ -36,7 +36,11 @@ isa::Instr parse_instr(const std::string& hex) {
   std::uint8_t buf[isa::kInstrSize];
   for (std::size_t i = 0; i < isa::kInstrSize; ++i) {
     const auto byte = hex.substr(2 * i, 2);
-    buf[i] = static_cast<std::uint8_t>(std::stoul(byte, nullptr, 16));
+    try {
+      buf[i] = static_cast<std::uint8_t>(std::stoul(byte, nullptr, 16));
+    } catch (const std::exception&) {
+      throw FaultloadError("bad instruction encoding: " + hex);
+    }
   }
   const auto in = isa::decode(buf);
   if (!in) throw FaultloadError("undecodable instruction: " + hex);
@@ -81,7 +85,11 @@ Faultload Faultload::parse(const std::string& text) {
     } else if (key == "digest") {
       std::string hex;
       ls >> hex;
-      fl.digest = std::stoull(hex, nullptr, 16);
+      try {
+        fl.digest = std::stoull(hex, nullptr, 16);
+      } catch (const std::exception&) {
+        throw FaultloadError("bad digest: " + hex);
+      }
     } else if (key == "count") {
       ls >> expected;
     } else if (key == "fault") {

@@ -311,6 +311,26 @@ const char* Machine::dispatch_kind() noexcept {
 #endif
 }
 
+std::uint64_t Machine::state_digest() const noexcept {
+  // FNV-1a over every architectural observable. Dispatch strategy state
+  // (predecode tables, xop tokens, samplers, stats) is deliberately
+  // excluded: two machines agree here iff a guest program cannot tell them
+  // apart, which is exactly the equivalence the differential fuzzer checks.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* p, std::size_t n) noexcept {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(mem_.data(), mem_.size());
+  mix(regs_, sizeof regs_);
+  mix(&flags_, sizeof flags_);
+  mix(&total_cycles_, sizeof total_cycles_);
+  return h;
+}
+
 std::uint8_t Machine::xop_for_slot(std::size_t s) const noexcept {
   const std::uint8_t f = slot_flags_[s];
   if (!(f & kSlotValid)) return kXBadJump;

@@ -167,6 +167,13 @@ class Machine {
   /// time via the GF_VM_DISPATCH CMake option.
   static const char* dispatch_kind() noexcept;
 
+  /// Test hook for the differential fuzzer (src/check): FNV-1a digest over
+  /// the full architectural state — memory, registers, comparison flags and
+  /// the lifetime cycle counter. Two machines that executed equivalent
+  /// instruction streams must agree on this digest at every trap boundary,
+  /// for any dispatch lowering, predecode or fusion setting.
+  std::uint64_t state_digest() const noexcept;
+
   void set_syscall_handler(SyscallHandler handler) { syscall_ = std::move(handler); }
 
   /// [lo, hi) range PUSH/POP must stay within; also used to position sp.

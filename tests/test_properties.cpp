@@ -11,94 +11,31 @@
 #include <set>
 #include <sstream>
 
+#include "check/progen.h"
 #include "minic/compiler.h"
 #include "os/api.h"
 #include "os/kernel.h"
 #include "swfit/injector.h"
 #include "swfit/scanner.h"
+#include "testutil_seed.h"
 #include "util/rng.h"
 #include "vm/machine.h"
 
 namespace gf {
 namespace {
 
-// --- random MiniC program generation ----------------------------------------
-
-/// Generates a small random-but-valid MiniC function using a bounded
-/// expression/statement grammar.
-class ProgramGen {
- public:
-  explicit ProgramGen(util::Rng& rng) : rng_(rng) {}
-
-  std::string generate() {
-    vars_ = {"a", "b"};
-    std::ostringstream out;
-    out << "fn f(a, b) {\n";
-    const int decls = static_cast<int>(rng_.range(1, 3));
-    for (int i = 0; i < decls; ++i) {
-      const std::string name = "v" + std::to_string(i);
-      out << "  var " << name << " = " << expr(2) << ";\n";
-      vars_.push_back(name);
-    }
-    const int stmts = static_cast<int>(rng_.range(2, 6));
-    for (int i = 0; i < stmts; ++i) out << statement(2);
-    out << "  return " << expr(2) << ";\n}\n";
-    return out.str();
-  }
-
- private:
-  std::string var() {
-    return vars_[rng_.bounded(vars_.size())];
-  }
-
-  std::string expr(int depth) {
-    if (depth == 0 || rng_.chance(0.3)) {
-      if (rng_.chance(0.5)) return var();
-      return std::to_string(rng_.range(-50, 50));
-    }
-    static const char* ops[] = {"+", "-", "*", "&", "|", "^"};
-    return "(" + expr(depth - 1) + " " + ops[rng_.bounded(6)] + " " +
-           expr(depth - 1) + ")";
-  }
-
-  std::string cond() {
-    static const char* cmps[] = {"<", "<=", ">", ">=", "==", "!="};
-    std::string c = expr(1) + " " + cmps[rng_.bounded(6)] + " " + expr(1);
-    if (rng_.chance(0.3)) {
-      c += rng_.chance(0.5) ? " && " : " || ";
-      c += expr(1) + " " + cmps[rng_.bounded(6)] + " " + expr(1);
-    }
-    return c;
-  }
-
-  std::string statement(int depth) {
-    const auto kind = rng_.bounded(depth > 0 ? 3 : 1);
-    switch (kind) {
-      case 1:
-        return "  if (" + cond() + ") { " + var() + " = " + expr(1) +
-               "; } else { " + var() + " = " + expr(1) + "; }\n";
-      case 2: {
-        // Bounded loop: always terminates.
-        const std::string i = "i" + std::to_string(loop_id_++);
-        return "  { var " + i + " = 0; while (" + i + " < " +
-               std::to_string(rng_.range(1, 8)) + ") { " + var() + " = " +
-               expr(1) + "; " + i + " = " + i + " + 1; } }\n";
-      }
-      default:
-        return "  " + var() + " = " + expr(2) + ";\n";
-    }
-  }
-
-  util::Rng& rng_;
-  std::vector<std::string> vars_;
-  int loop_id_ = 0;
-};
+// Random program generation lives in src/check (check::ProgramGen) — shared
+// with the gfcheck differential fuzzer engines.
+using check::ProgramGen;
 
 class RandomProgramTest : public ::testing::TestWithParam<int> {};
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest, ::testing::Range(0, 24));
 
 TEST_P(RandomProgramTest, CompilesDeterministicallyAndRunsIdentically) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const auto seed =
+      testutil::test_seed(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  SCOPED_TRACE(testutil::seed_banner(seed));
+  util::Rng rng(seed);
   ProgramGen gen(rng);
   const auto src = gen.generate();
 
@@ -125,7 +62,10 @@ TEST_P(RandomProgramTest, CompilesDeterministicallyAndRunsIdentically) {
 }
 
 TEST_P(RandomProgramTest, ScannerFaultsApplyAndRestoreCleanly) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  const auto seed =
+      testutil::test_seed(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  SCOPED_TRACE(testutil::seed_banner(seed));
+  util::Rng rng(seed);
   ProgramGen gen(rng);
   const auto src = gen.generate();
   auto img = minic::compile(src, "p", 0x1000);
@@ -158,10 +98,13 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 2, 3, 4)));
 
 TEST_P(HeapPropertyTest, RandomAllocFreeSequencesKeepInvariants) {
-  const auto [version, seed] = GetParam();
+  const auto [version, param_seed] = GetParam();
   os::Kernel kernel(version);
   os::OsApi api(kernel);
-  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const auto seed =
+      testutil::test_seed(static_cast<std::uint64_t>(param_seed));
+  SCOPED_TRACE(testutil::seed_banner(seed));
+  util::Rng rng(seed);
 
   struct Block {
     std::uint64_t addr;
@@ -305,7 +248,9 @@ TEST(OsVersionEquivalence, CommonSurfaceBehavesIdentically) {
   for (auto* k : {&k2000, &kxp}) {
     k->disk().add_file("/f", {'h', 'e', 'l', 'l', 'o'});
   }
-  util::Rng rng(99);
+  const auto seed = testutil::test_seed(99);
+  SCOPED_TRACE(testutil::seed_banner(seed));
+  util::Rng rng(seed);
   for (int i = 0; i < 300; ++i) {
     const auto op = rng.bounded(6);
     std::int64_t va = 0, vb = 0;

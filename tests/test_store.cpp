@@ -255,6 +255,34 @@ TEST(CampaignStoreTest, TornSegmentTailIsTruncatedOnOpen) {
   EXPECT_EQ(st.verify(), 0u);
 }
 
+TEST(CampaignStoreTest, TearHookRecoversInPlaceAndStoreStaysUsable) {
+  const auto dir = fresh_dir("tearhook");
+  CampaignStore st(dir);
+  st.put(key_of(1), payload_of("first"));
+  st.put(key_of(2), payload_of("second"));
+  const long wal_before = file_size(dir + "/wal.gfj");
+  st.put(key_of(3), payload_of("third"));
+  const long wal_after = file_size(dir + "/wal.gfj");
+  ASSERT_GT(wal_after, wal_before);
+
+  // Tear the third commit's WAL entry clean off plus a few segment payload
+  // bytes — the fuzzer's in-process crash model. Recovery re-runs in place:
+  // the surviving prefix must stay intact and the store must remain
+  // writable without a reopen.
+  st.tear_tail_for_test(/*seg_drop=*/3,
+                        /*wal_drop=*/static_cast<std::uint64_t>(wal_after -
+                                                                wal_before));
+  EXPECT_EQ(st.verify(), 0u);
+  std::vector<std::uint8_t> p;
+  EXPECT_FALSE(st.get(key_of(3), p));
+  ASSERT_TRUE(st.get(key_of(2), p));
+  EXPECT_EQ(p, payload_of("second"));
+
+  st.put(key_of(4), payload_of("fourth"));
+  ASSERT_TRUE(st.get(key_of(4), p));
+  EXPECT_EQ(p, payload_of("fourth"));
+}
+
 TEST(CampaignStoreTest, CorruptPayloadInvalidatesFromThereOn) {
   const auto dir = fresh_dir("corrupt");
   long off2 = 0;

@@ -1,0 +1,38 @@
+// Seed-replay plumbing for randomized tests.
+//
+// Every randomized suite derives its RNG seed through test_seed(), which
+// honours the GF_TEST_SEED environment variable: a CI failure that prints
+// its seed (via seed_banner + SCOPED_TRACE) replays locally with
+//
+//   GF_TEST_SEED=0x<seed> ctest -R <test> --output-on-failure
+//
+// Without the override, the passed fallback keeps the suite deterministic
+// run-to-run (seeds are fixed, not wall-clock derived).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace gf::testutil {
+
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("GF_TEST_SEED")) {
+    char* end = nullptr;
+    const auto v = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') return v;
+  }
+  return fallback;
+}
+
+/// SCOPED_TRACE payload: names the seed and the replay command on failure.
+inline std::string seed_banner(std::uint64_t seed) {
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "seed 0x%016llx (replay: GF_TEST_SEED=0x%016llx)",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+}  // namespace gf::testutil

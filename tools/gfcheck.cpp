@@ -1,0 +1,145 @@
+// gfcheck — the property-based differential fuzzer CLI (src/check).
+//
+//   gfcheck [--engine all|matrix|vm|structure] [--seed N] [--cases K]
+//           [--case-seed S]... [--scratch DIR] [--dump FILE] [--verbose]
+//
+// Runs a fixed, seed-named budget of randomized differential cases through
+// the selected engines. Every failure prints the engine, the 64-bit case
+// seed, the violated oracle, and a complete repro command line; the exit
+// status is 1 when any oracle was violated, 2 on usage errors, 0 otherwise.
+//
+//   --seed N       base seed; case i runs at case_seed(N, i)  (default 1)
+//   --cases K      cases per engine                           (default 25)
+//   --case-seed S  replay exactly this case seed (repeatable; the repro
+//                  path printed by a failure). Overrides --seed/--cases.
+//   --scratch DIR  scratch directory for store-backed cases
+//   --dump FILE    write the VM engine's canonical per-case digest lines;
+//                  CI cmp's the dumps of threaded- and switch-dispatch
+//                  builds (the cross-lowering oracle)
+//   --verbose      narrate every case to stderr
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: gfcheck [--engine all|matrix|vm|structure] [--seed N]\n"
+      "               [--cases K] [--case-seed S]... [--scratch DIR]\n"
+      "               [--dump FILE] [--verbose]\n");
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 0);  // accepts the 0x... spelling of repros
+  return end != nullptr && end != s && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string engine = "all";
+  std::string dump_path;
+  gf::check::CheckOptions opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--engine") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      engine = v;
+      if (engine != "all" && engine != "matrix" && engine != "vm" &&
+          engine != "structure") {
+        return usage();
+      }
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, opt.seed)) return usage();
+    } else if (arg == "--cases") {
+      const char* v = value();
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n)) return usage();
+      opt.cases = static_cast<std::size_t>(n);
+    } else if (arg == "--case-seed") {
+      const char* v = value();
+      std::uint64_t s = 0;
+      if (v == nullptr || !parse_u64(v, s)) return usage();
+      opt.explicit_seeds.push_back(s);
+    } else if (arg == "--scratch") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      opt.scratch_dir = v;
+    } else if (arg == "--dump") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      dump_path = v;
+      opt.want_dump = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr, "gfcheck: unknown argument '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  struct EngineRun {
+    const char* name;
+    gf::check::CheckReport (*run)(const gf::check::CheckOptions&);
+  };
+  const std::vector<EngineRun> engines = {
+      {"matrix", gf::check::run_matrix_engine},
+      {"vm", gf::check::run_vm_engine},
+      {"structure", gf::check::run_structure_engine},
+  };
+
+  std::size_t total_cases = 0;
+  std::vector<gf::check::Failure> failures;
+  std::vector<std::string> dump_lines;
+  for (const auto& e : engines) {
+    if (engine != "all" && engine != e.name) continue;
+    const auto report = e.run(opt);
+    total_cases += report.cases;
+    failures.insert(failures.end(), report.failures.begin(),
+                    report.failures.end());
+    dump_lines.insert(dump_lines.end(), report.dump_lines.begin(),
+                      report.dump_lines.end());
+    std::printf("gfcheck: engine %-9s %3zu cases, %zu failure%s\n", e.name,
+                report.cases, report.failures.size(),
+                report.failures.size() == 1 ? "" : "s");
+  }
+  if (total_cases == 0) return usage();
+
+  if (!dump_path.empty()) {
+    std::ofstream out(dump_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "gfcheck: cannot write %s\n", dump_path.c_str());
+      return 2;
+    }
+    for (const auto& line : dump_lines) out << line << "\n";
+  }
+
+  for (const auto& f : failures) {
+    std::printf("\nFAIL [%s] case seed 0x%016llx\n  %s\n  repro: %s\n",
+                f.engine.c_str(),
+                static_cast<unsigned long long>(f.case_seed),
+                f.message.c_str(), f.repro.c_str());
+  }
+  if (!failures.empty()) {
+    std::printf("\ngfcheck: %zu oracle violation%s in %zu cases\n",
+                failures.size(), failures.size() == 1 ? "" : "s", total_cases);
+    return 1;
+  }
+  std::printf("gfcheck: all %zu cases clean\n", total_cases);
+  return 0;
+}
